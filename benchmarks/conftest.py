@@ -1,0 +1,22 @@
+"""Shared state for the figure benchmarks.
+
+The offline DNN/HMM fit is shared session-wide through one
+:class:`PredictorCache`; each figure bench then reruns only its
+simulations.  Benches print the same rows/series the paper reports and
+assert the *shape* criteria of DESIGN.md §4.
+"""
+
+import pytest
+
+from repro.experiments.runner import PredictorCache
+
+
+@pytest.fixture(scope="session")
+def cache() -> PredictorCache:
+    return PredictorCache()
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): marks a benchmark reproducing a paper figure"
+    )

@@ -1,0 +1,26 @@
+"""Fig. 6 — prediction error rate vs number of jobs (real cluster).
+
+Paper shape: error rate CORP < RCCR < CloudScale < DRA at every job
+count, with CORP's deep-learning + HMM + confidence pipeline delivering
+the most reliably conservative unused-resource forecasts.
+"""
+
+import pytest
+
+from repro.experiments.figures import fig06_prediction_error
+from repro.experiments.runner import METHOD_ORDER
+
+
+@pytest.mark.figure("fig06")
+def test_fig06_prediction_error(benchmark, cache):
+    result = benchmark.pedantic(
+        lambda: fig06_prediction_error(cache=cache), rounds=1, iterations=1
+    )
+    print()
+    print(result.to_table())
+    # Shape: ascending error rate in METHOD_ORDER at most sweep points.
+    assert result.shape_holds(min_points_fraction=0.6), result.series
+    # CORP strictly best on average.
+    means = {m: sum(v) / len(v) for m, v in result.series.items()}
+    assert means["CORP"] == min(means.values())
+    assert means["DRA"] == max(means.values())

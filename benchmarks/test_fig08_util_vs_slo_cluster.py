@@ -1,0 +1,48 @@
+"""Fig. 8 — overall utilization vs SLO violation rate (real cluster).
+
+The paper varies ``P_th`` (and each baseline's analogous conservatism
+knob) to trade SLO violations for utilization.  Paper shape: utilization
+increases with the tolerated violation rate, and CORP's curve dominates.
+"""
+
+import pytest
+
+from repro.experiments.figures import fig08_utilization_vs_slo
+from repro.experiments.report import format_table
+
+
+@pytest.mark.figure("fig08")
+def test_fig08_util_vs_slo_cluster(benchmark, cache):
+    curves = benchmark.pedantic(
+        lambda: fig08_utilization_vs_slo(testbed="cluster", cache=cache),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    rows = []
+    for method, points in curves.items():
+        for slo, util in points:
+            rows.append([method, slo, util])
+    print(
+        format_table(
+            ["method", "slo_violation_rate", "overall_utilization"],
+            rows,
+            title="Fig. 8 — utilization vs SLO violation rate (cluster)",
+        )
+    )
+
+    # CORP's most aggressive point must beat every baseline's most
+    # aggressive point on utilization.
+    best_util = {m: max(u for _, u in pts) for m, pts in curves.items()}
+    assert best_util["CORP"] == max(best_util.values())
+
+    # Aggressiveness raises utilization for CORP (first level is the
+    # most conservative, last the most aggressive).
+    corp = curves["CORP"]
+    assert corp[-1][1] >= corp[0][1] - 1e-9
+
+    # For the cap-based baselines, aggressiveness raises the violation
+    # rate (the x-axis of the paper's figure moves right).
+    for method in ("CloudScale", "DRA"):
+        pts = curves[method]
+        assert pts[-1][0] >= pts[0][0] - 1e-9, method

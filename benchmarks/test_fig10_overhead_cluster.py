@@ -1,0 +1,37 @@
+"""Fig. 10 — allocation latency for 300 jobs (real cluster).
+
+Paper shape: CORP's latency is slightly above the others (the DNN+HMM
+pipeline and its per-job telemetry cost accuracy-for-overhead), DRA's is
+lowest.  In this reproduction CORP and CloudScale are within measurement
+noise of each other on the cluster profile (CloudScale's per-window
+PRESS refits are comparably heavy); see EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments.figures import fig10_overhead
+from repro.experiments.report import format_table
+
+
+@pytest.mark.figure("fig10")
+def test_fig10_overhead_cluster(benchmark, cache):
+    latencies = benchmark.pedantic(
+        lambda: fig10_overhead(testbed="cluster", cache=cache),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["method", "allocation_latency_s"],
+            [[m, v] for m, v in latencies.items()],
+            title="Fig. 10 — allocation latency, 300 jobs (cluster)",
+        )
+    )
+    # CORP at or near the top of the overhead ranking (within 15% of the
+    # maximum — wall-clock measurements carry noise).
+    assert latencies["CORP"] >= 0.85 * max(latencies.values())
+    # DRA (no prediction models beyond running averages) cheapest.
+    assert latencies["DRA"] == min(latencies.values())
+    # Everything in a plausible sub-minute range for a 300-job run.
+    assert all(0.0 < v < 60.0 for v in latencies.values())

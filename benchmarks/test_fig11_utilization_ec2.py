@@ -1,0 +1,38 @@
+"""Fig. 11 — per-resource utilization vs number of jobs (Amazon EC2).
+
+Paper shape: same ordering as Fig. 7 (CORP > RCCR > CloudScale > DRA),
+utilization rising with the job count, and "the utilizations of CPU and
+MEM are higher than storage" (Section IV-B).
+"""
+
+import pytest
+
+from repro.experiments.figures import fig07_utilization
+
+
+@pytest.mark.figure("fig11")
+def test_fig11_utilization_ec2(benchmark, cache):
+    panels = benchmark.pedantic(
+        lambda: fig07_utilization(testbed="ec2", cache=cache),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for key in ("cpu", "mem", "storage", "overall"):
+        print(panels[key].to_table())
+        print()
+
+    overall = panels["overall"].series
+    means = {m: sum(v) / len(v) for m, v in overall.items()}
+    assert means["CORP"] == max(means.values())
+    assert means["DRA"] <= means["RCCR"] + 1e-9
+    # Section IV-B: CPU and MEM utilization above storage utilization.
+    for method in means:
+        cpu = sum(panels["cpu"].series[method]) / len(panels["cpu"].series[method])
+        mem = sum(panels["mem"].series[method]) / len(panels["mem"].series[method])
+        sto = sum(panels["storage"].series[method]) / len(
+            panels["storage"].series[method]
+        )
+        assert cpu > sto and mem > sto, method
+    # Utilization increases with job count for CORP (low → high density).
+    assert overall["CORP"][-1] > overall["CORP"][0] * 0.6

@@ -1,0 +1,35 @@
+"""Fig. 12 — overall utilization vs SLO violation rate (Amazon EC2).
+
+Paper: "Figure 12 mirrors Figure 8 due to the same reasons" — the
+utilization/violation tradeoff holds on EC2, with CORP dominant.
+"""
+
+import pytest
+
+from repro.experiments.figures import fig08_utilization_vs_slo
+from repro.experiments.report import format_table
+
+
+@pytest.mark.figure("fig12")
+def test_fig12_util_vs_slo_ec2(benchmark, cache):
+    curves = benchmark.pedantic(
+        lambda: fig08_utilization_vs_slo(testbed="ec2", cache=cache),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    rows = []
+    for method, points in curves.items():
+        for slo, util in points:
+            rows.append([method, slo, util])
+    print(
+        format_table(
+            ["method", "slo_violation_rate", "overall_utilization"],
+            rows,
+            title="Fig. 12 — utilization vs SLO violation rate (EC2)",
+        )
+    )
+    best_util = {m: max(u for _, u in pts) for m, pts in curves.items()}
+    assert best_util["CORP"] == max(best_util.values())
+    corp = curves["CORP"]
+    assert corp[-1][1] >= corp[0][1] - 1e-9

@@ -1,0 +1,26 @@
+"""Fig. 13 — SLO violation rate vs confidence level (Amazon EC2).
+
+Paper: "Figure 13 mirrors Figure 9" — violations fall as the confidence
+level rises and CORP < RCCR < CloudScale < DRA throughout.
+"""
+
+import pytest
+
+from repro.experiments.figures import fig09_slo_vs_confidence
+
+
+@pytest.mark.figure("fig13")
+def test_fig13_slo_vs_confidence_ec2(benchmark, cache):
+    result = benchmark.pedantic(
+        lambda: fig09_slo_vs_confidence(testbed="ec2", cache=cache),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_table())
+    series = result.series
+    means = {m: sum(v) / len(v) for m, v in series.items()}
+    assert means["CORP"] == min(means.values())
+    assert means["DRA"] >= means["RCCR"]
+    for method in ("CloudScale", "DRA"):
+        assert series[method][-1] <= series[method][0] + 1e-9, method

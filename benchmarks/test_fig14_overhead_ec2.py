@@ -1,0 +1,36 @@
+"""Fig. 14 — allocation latency for 300 jobs (Amazon EC2).
+
+Paper shapes: (a) CORP's latency is the highest within EC2 (DNN + HMM +
+per-job telemetry); (b) every method's EC2 latency exceeds its cluster
+latency ("the communication overhead in Amazon EC2 is relatively higher
+than that in the cluster").
+"""
+
+import pytest
+
+from repro.experiments.figures import fig10_overhead
+from repro.experiments.report import format_table
+
+
+@pytest.mark.figure("fig14")
+def test_fig14_overhead_ec2(benchmark, cache):
+    def run_both():
+        return (
+            fig10_overhead(testbed="ec2", cache=cache),
+            fig10_overhead(testbed="cluster", cache=cache),
+        )
+
+    ec2, cluster = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["method", "ec2_latency_s", "cluster_latency_s"],
+            [[m, ec2[m], cluster[m]] for m in ec2],
+            title="Fig. 14 — allocation latency, 300 jobs (EC2 vs cluster)",
+        )
+    )
+    # CORP highest within EC2.
+    assert ec2["CORP"] == max(ec2.values())
+    # EC2 latency above the cluster latency for every method.
+    for method in ec2:
+        assert ec2[method] > cluster[method], method

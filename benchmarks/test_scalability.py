@@ -1,0 +1,33 @@
+"""Simulator scalability: wall time vs job count (engineering bench).
+
+Not a paper figure — this tracks the reproduction's own performance so
+regressions in the hot paths (VM feasibility scans, forecast refreshes,
+slot execution) are visible.  Uses the real pytest-benchmark timing
+machinery (multiple rounds) on a mid-sized CORP run.
+"""
+
+import pytest
+
+from repro.cluster.simulator import ClusterSimulator
+from repro.core.config import CorpConfig
+from repro.core.corp import CorpScheduler
+from repro.experiments.scenarios import cluster_scenario
+
+
+@pytest.mark.figure("scalability")
+def test_simulator_throughput_200_jobs(benchmark, cache):
+    scenario = cluster_scenario(200, seed=7)
+    history = scenario.history_trace()
+    trace = scenario.evaluation_trace()
+    config = CorpConfig(seed=7)
+    predictor = cache.get(config, history)  # offline fit excluded from timing
+
+    def run():
+        scheduler = CorpScheduler(config, predictor=predictor)
+        sim = ClusterSimulator(scenario.profile, scheduler, scenario.sim_config)
+        return sim.run(trace, history=history)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.all_done
+    # A 200-job run must stay comfortably interactive.
+    assert benchmark.stats["mean"] < 10.0

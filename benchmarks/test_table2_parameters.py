@@ -1,0 +1,27 @@
+"""Table II — parameter settings, regenerated from the live defaults.
+
+Checks that the reproduction's defaults sit inside the ranges the paper
+reports (DNN shape h=4/N_n=50, H=3 HMM states, P_th=0.95, l=3, servers
+30-50, VMs 100-400, job sweep 50-300).
+"""
+
+import pytest
+
+from repro.experiments.table2 import render_table2, table2_rows
+
+
+@pytest.mark.figure("table2")
+def test_table2_parameters(benchmark):
+    rows = benchmark.pedantic(table2_rows, rounds=1, iterations=1)
+    print()
+    print(render_table2())
+    by_param = {r[0]: r for r in rows}
+
+    assert by_param["h"][3] == "4"
+    assert by_param["N_n"][3] == "50"
+    assert by_param["H"][3] == "3"
+    assert by_param["l"][3] == "3"
+    assert by_param["P_th"][3] == "0.95"
+    assert 30 <= int(by_param["N_p"][3]) <= 50
+    assert int(by_param["N_v"][3]) <= 400
+    assert by_param["|J|"][3] == "50-300"

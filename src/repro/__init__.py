@@ -1,0 +1,111 @@
+"""CORP: Cooperative Opportunistic Resource Provisioning — reproduction.
+
+Full Python reproduction of *"CORP: Cooperative Opportunistic Resource
+Provisioning for Short-Lived Jobs in Cloud Systems"* (Liu, Shen, Chen —
+IEEE CLUSTER 2016), including every substrate the evaluation needs:
+
+* :mod:`repro.cluster` — discrete-time-slot cloud simulator (PMs, VMs,
+  jobs, SLOs, the Eq. 1-4 metrics);
+* :mod:`repro.trace` — synthetic Google-cluster-trace generator and the
+  paper's trace transformations;
+* :mod:`repro.nn` — from-scratch deep-learning stack (Eq. 5-8);
+* :mod:`repro.hmm` — from-scratch Hidden Markov Model stack (Eq. 9-17);
+* :mod:`repro.forecast` — ETS / FFT-signature / Markov-chain predictors
+  and the confidence-interval machinery (Eq. 18-21);
+* :mod:`repro.core` — the CORP scheduler itself (prediction pipeline,
+  packing, most-matched placement, preemption gate);
+* :mod:`repro.baselines` — RCCR, CloudScale and DRA as Section IV
+  implements them;
+* :mod:`repro.experiments` — scenario builders and one entry point per
+  figure of the evaluation.
+
+Quickstart::
+
+    from repro import CorpScheduler, ClusterSimulator, cluster_scenario
+
+    scenario = cluster_scenario(n_jobs=100)
+    sim = ClusterSimulator(scenario.profile, CorpScheduler(), scenario.sim_config)
+    result = sim.run(scenario.evaluation_trace(), history=scenario.history_trace())
+    print(result.summary())
+"""
+
+from .baselines import CloudScaleScheduler, DraScheduler, RccrScheduler
+from .cluster import (
+    ClusterProfile,
+    ClusterSimulator,
+    Job,
+    JobState,
+    PhysicalMachine,
+    Placement,
+    ResourceKind,
+    ResourceVector,
+    Scheduler,
+    SimulationConfig,
+    SimulationResult,
+    SloSpec,
+    VirtualMachine,
+)
+from .core import (
+    CorpConfig,
+    CorpPredictor,
+    CorpScheduler,
+    JobEntity,
+    pack_jobs,
+)
+from .experiments import (
+    JOB_COUNTS,
+    METHOD_ORDER,
+    Scenario,
+    cluster_scenario,
+    ec2_scenario,
+    run_methods,
+)
+from .trace import (
+    GoogleTraceGenerator,
+    TaskRecord,
+    Trace,
+    TraceConfig,
+    build_workload,
+    remove_long_lived,
+    resample_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CloudScaleScheduler",
+    "DraScheduler",
+    "RccrScheduler",
+    "ClusterProfile",
+    "ClusterSimulator",
+    "Job",
+    "JobState",
+    "PhysicalMachine",
+    "Placement",
+    "ResourceKind",
+    "ResourceVector",
+    "Scheduler",
+    "SimulationConfig",
+    "SimulationResult",
+    "SloSpec",
+    "VirtualMachine",
+    "CorpConfig",
+    "CorpPredictor",
+    "CorpScheduler",
+    "JobEntity",
+    "pack_jobs",
+    "JOB_COUNTS",
+    "METHOD_ORDER",
+    "Scenario",
+    "cluster_scenario",
+    "ec2_scenario",
+    "run_methods",
+    "GoogleTraceGenerator",
+    "TaskRecord",
+    "Trace",
+    "TraceConfig",
+    "build_workload",
+    "remove_long_lived",
+    "resample_trace",
+    "__version__",
+]

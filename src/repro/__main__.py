@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``compare``   — run all four schedulers on one workload and print the
+                comparison table (a single column of the evaluation).
+``figure``    — regenerate one of the paper's figures (fig06..fig14).
+``ablations`` — run the CORP component ablations (DESIGN.md §5).
+``mixed``     — the mixed short+long workload extension.
+
+Examples::
+
+    python -m repro compare --jobs 200
+    python -m repro figure fig09 --testbed cluster
+    python -m repro ablations
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments.ablations import run_ablations
+from .experiments.figures import (
+    fig06_prediction_error,
+    fig07_utilization,
+    fig08_utilization_vs_slo,
+    fig09_slo_vs_confidence,
+    fig10_overhead,
+)
+from .experiments.mixed import run_mixed_workload
+from .experiments.plot import save_figure_svg
+from .experiments.report import format_table
+from .experiments.runner import PredictorCache, run_methods
+from .experiments.scenarios import cluster_scenario, ec2_scenario
+
+FIGURES = (
+    "fig06", "fig07", "fig08", "fig09", "fig10",
+    "fig11", "fig12", "fig13", "fig14",
+)
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    builder = cluster_scenario if args.testbed == "cluster" else ec2_scenario
+    scenario = builder(args.jobs, seed=args.seed)
+    results = run_methods(scenario, seed=args.seed)
+    rows = []
+    for method, result in results.items():
+        summary = result.summary()
+        rows.append(
+            [
+                method,
+                summary["overall_utilization"],
+                summary["slo_violation_rate"],
+                summary.get("prediction_error_rate", float("nan")),
+                summary["allocation_latency_s"],
+            ]
+        )
+    print(
+        format_table(
+            ["method", "utilization", "slo_rate", "err_rate", "latency_s"],
+            rows,
+            title=f"{args.jobs} jobs on the {args.testbed} profile",
+        )
+    )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    cache = PredictorCache()
+    name = args.name
+    testbed = args.testbed
+    # EC2 figures are the cluster figures rerun on the EC2 profile.
+    mapped = {
+        "fig11": ("fig07", "ec2"),
+        "fig12": ("fig08", "ec2"),
+        "fig13": ("fig09", "ec2"),
+        "fig14": ("fig10", "ec2"),
+    }
+    if name in mapped:
+        name, testbed = mapped[name]
+    if name == "fig06":
+        result = fig06_prediction_error(testbed=testbed, seed=args.seed, cache=cache)
+        print(result.to_table())
+        if args.svg:
+            print("wrote", save_figure_svg(result, args.svg, y_label="error rate"))
+    elif name == "fig07":
+        panels = fig07_utilization(testbed=testbed, seed=args.seed, cache=cache)
+        for key in ("cpu", "mem", "storage", "overall"):
+            print(panels[key].to_table())
+            print()
+        if args.svg:
+            print("wrote", save_figure_svg(
+                panels["overall"], args.svg, y_label="overall utilization"))
+    elif name == "fig08":
+        curves = fig08_utilization_vs_slo(testbed=testbed, seed=args.seed, cache=cache)
+        rows = [
+            [method, slo, util]
+            for method, points in curves.items()
+            for slo, util in points
+        ]
+        print(
+            format_table(
+                ["method", "slo_violation_rate", "overall_utilization"],
+                rows,
+                title=f"utilization vs SLO violation rate ({testbed})",
+            )
+        )
+    elif name == "fig09":
+        result = fig09_slo_vs_confidence(testbed=testbed, seed=args.seed, cache=cache)
+        print(result.to_table())
+        if args.svg:
+            print("wrote", save_figure_svg(result, args.svg, y_label="SLO violation rate"))
+    elif name == "fig10":
+        latencies = fig10_overhead(testbed=testbed, seed=args.seed, cache=cache)
+        print(
+            format_table(
+                ["method", "allocation_latency_s"],
+                [[m, v] for m, v in latencies.items()],
+                title=f"allocation latency, 300 jobs ({testbed})",
+            )
+        )
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(name)
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    results = run_ablations(n_jobs=args.jobs, seed=args.seed)
+    rows = [
+        [
+            name,
+            s["overall_utilization"],
+            s["slo_violation_rate"],
+            s.get("prediction_error_rate", 0.0),
+            int(s["riders"]),
+        ]
+        for name, s in results.items()
+    ]
+    print(
+        format_table(
+            ["variant", "utilization", "slo_rate", "err_rate", "riders"],
+            rows,
+            title="CORP ablations",
+        )
+    )
+    return 0
+
+
+def _cmd_mixed(args: argparse.Namespace) -> int:
+    results = run_mixed_workload(n_jobs=args.jobs, seed=args.seed)
+    rows = [
+        [
+            m,
+            s["overall_utilization"],
+            s["slo_violation_rate"],
+            s.get("prediction_error_rate", 0.0),
+            int(s["riders"]),
+        ]
+        for m, s in results.items()
+    ]
+    print(
+        format_table(
+            ["method", "utilization", "slo_rate", "err_rate", "riders"],
+            rows,
+            title="Mixed short+long workload",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="CORP (CLUSTER 2016) reproduction — experiment CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser("compare", help="run all four schedulers once")
+    compare.add_argument("--jobs", type=int, default=200)
+    compare.add_argument("--testbed", choices=("cluster", "ec2"), default="cluster")
+    compare.add_argument("--seed", type=int, default=7)
+    compare.set_defaults(func=_cmd_compare)
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("name", choices=FIGURES)
+    figure.add_argument("--testbed", choices=("cluster", "ec2"), default="cluster")
+    figure.add_argument("--seed", type=int, default=7)
+    figure.add_argument(
+        "--svg", metavar="PATH", default=None,
+        help="also render the figure as a standalone SVG chart "
+             "(fig06/fig07/fig09 and their EC2 twins)",
+    )
+    figure.set_defaults(func=_cmd_figure)
+
+    ablations = sub.add_parser("ablations", help="CORP component ablations")
+    ablations.add_argument("--jobs", type=int, default=300)
+    ablations.add_argument("--seed", type=int, default=7)
+    ablations.set_defaults(func=_cmd_ablations)
+
+    mixed = sub.add_parser("mixed", help="mixed short+long workload")
+    mixed.add_argument("--jobs", type=int, default=200)
+    mixed.add_argument("--seed", type=int, default=7)
+    mixed.set_defaults(func=_cmd_mixed)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Baseline provisioning schemes the paper compares against (Section IV).
+
+RCCR [4] (ETS + confidence interval, opportunistic), CloudScale [26]
+(PRESS prediction + adaptive padding, no reuse) and DRA [36]
+(share/demand capacity redistribution, no reuse).
+"""
+
+from .cloudscale import CloudScaleScheduler
+from .dra import DraScheduler
+from .rccr import RccrScheduler
+
+__all__ = ["CloudScaleScheduler", "DraScheduler", "RccrScheduler"]

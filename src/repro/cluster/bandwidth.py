@@ -1,0 +1,67 @@
+"""Bandwidth accounting (Section IV's network setting).
+
+The evaluation fixes each server's bandwidth at 1 GB/s and each
+short-lived job's consumption at 0.02 MB/s [40]; bandwidth is *not* one
+of the ``l = 3`` allocatable resource types because, like storage, it is
+never the bottleneck.  This module makes that claim checkable: it
+computes per-PM bandwidth utilization from the live placements so tests
+(and operators) can verify the non-bottleneck assumption instead of
+taking it on faith.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from .machine import PhysicalMachine
+
+__all__ = ["BandwidthModel"]
+
+
+@dataclass(frozen=True)
+class BandwidthModel:
+    """Per-node bandwidth budget and per-job consumption.
+
+    Defaults are the paper's: 1 GB/s per server, 0.02 MB/s per
+    short-lived job.
+    """
+
+    node_gbps: float = 1.0
+    per_job_mbps: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.node_gbps <= 0:
+            raise ValueError("node_gbps must be positive")
+        if self.per_job_mbps < 0:
+            raise ValueError("per_job_mbps must be non-negative")
+
+    @property
+    def node_capacity_mbps(self) -> float:
+        """Node budget in MB/s (1 GB/s = 1000 MB/s, as in [40])."""
+        return self.node_gbps * 1000.0
+
+    def pm_usage_fraction(self, pm: PhysicalMachine) -> float:
+        """Fraction of one PM's bandwidth its resident jobs consume."""
+        n_jobs = sum(len(vm.placements) for vm in pm.vms)
+        return n_jobs * self.per_job_mbps / self.node_capacity_mbps
+
+    def usage_by_pm(self, pms: Iterable[PhysicalMachine]) -> Mapping[int, float]:
+        """Per-PM bandwidth utilization fractions."""
+        return {pm.pm_id: self.pm_usage_fraction(pm) for pm in pms}
+
+    def is_bottleneck(self, pms: Iterable[PhysicalMachine], threshold: float = 0.5) -> bool:
+        """Does any PM exceed ``threshold`` of its bandwidth budget?
+
+        Section IV's setup implies this stays False throughout — the
+        integration tests assert it on live simulations.
+        """
+        return any(f > threshold for f in self.usage_by_pm(pms).values())
+
+    def max_supported_jobs_per_node(self) -> int:
+        """Jobs one node can carry before saturating its bandwidth."""
+        if self.per_job_mbps == 0:
+            raise ValueError("per-job bandwidth is zero; capacity is unbounded")
+        # Guard the floor against float-division artifacts (1000/0.02
+        # evaluates to 49999.999...).
+        return int(self.node_capacity_mbps / self.per_job_mbps + 1e-9)

@@ -1,0 +1,169 @@
+"""Runtime job model: demand, progress under contention, response time.
+
+A :class:`Job` wraps one short-lived task from the trace while it lives in
+the simulator.  Its per-slot *demand* comes from the trace's usage series;
+the amount it actually *receives* in a slot depends on the scheduler's
+allocation and on physical contention at its VM.  Receiving less than the
+demand slows the job down proportionally, stretching its response time —
+which is how over-aggressive reallocation of "unused" resources turns
+into SLO violations (Section IV: "jobs' response time is affected by the
+unavailability of resource for job processing" [43]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from .resources import ResourceVector
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a trace<->cluster import cycle
+    from ..trace.records import TaskRecord
+
+__all__ = ["Job", "JobState"]
+
+
+class JobState(Enum):
+    """Lifecycle of a job inside the simulator."""
+
+    PENDING = "pending"      # submitted, waiting for placement
+    RUNNING = "running"      # placed on a VM, making progress
+    COMPLETED = "completed"  # all work done
+
+
+@dataclass
+class Job:
+    """One job instance in flight.
+
+    Attributes
+    ----------
+    record:
+        The originating trace record (supplies demand and request).
+    submit_slot:
+        Slot at which the job entered the system.
+    nominal_slots:
+        Number of slots the job takes at full speed.
+    state, start_slot, completion_slot:
+        Lifecycle bookkeeping.
+    progress:
+        Work completed so far, in units of nominal slots; the job
+        completes when ``progress >= nominal_slots``.
+    opportunistic:
+        True when the job was placed on *predicted unused* resources of
+        other jobs' allocations (the weaker-SLO class of Section I's
+        opportunistic provisioning); such jobs absorb contention first.
+    """
+
+    record: TaskRecord
+    submit_slot: int
+    nominal_slots: int = field(init=False)
+    state: JobState = field(default=JobState.PENDING)
+    start_slot: Optional[int] = None
+    completion_slot: Optional[int] = None
+    progress: float = 0.0
+    opportunistic: bool = False
+    #: Per-slot rates actually achieved while running (for diagnostics).
+    rate_history: list[float] = field(default_factory=list)
+    #: Per-slot demand vectors observed while running — the utilization
+    #: history the predictors consume.
+    demand_log: list[np.ndarray] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.nominal_slots = max(
+            1, int(np.ceil(self.record.duration_s / self.record.sample_period_s))
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def job_id(self) -> int:
+        """The originating trace record's task id."""
+        return self.record.task_id
+
+    @property
+    def requested(self) -> ResourceVector:
+        """The job's allocation request ``r_i`` (from the trace)."""
+        return self.record.requested
+
+    def demand(self) -> ResourceVector:
+        """Current-slot demand ``d_i``, indexed by work progress.
+
+        Demand follows the trace's usage series at the position the job
+        has *worked up to*, so a slowed job replays its demand curve more
+        slowly rather than skipping ahead.
+        """
+        idx = min(int(self.progress), self.record.n_samples - 1)
+        return self.record.usage_at(idx)
+
+    # ------------------------------------------------------------------
+    def start(self, slot: int, *, opportunistic: bool) -> None:
+        """Mark the job running (placement succeeded at ``slot``)."""
+        if self.state is not JobState.PENDING:
+            raise RuntimeError(f"job {self.job_id} cannot start from {self.state}")
+        self.state = JobState.RUNNING
+        self.start_slot = slot
+        self.opportunistic = opportunistic
+
+    def advance(self, rate: float, slot: int) -> None:
+        """Progress the job by one slot at the given rate ``in [0, 1]``.
+
+        ``rate = 1`` is full speed; ``rate = 0.5`` means the slot only
+        completed half a slot's worth of work.
+        """
+        if self.state is not JobState.RUNNING:
+            raise RuntimeError(f"job {self.job_id} is not running")
+        rate = float(np.clip(rate, 0.0, 1.0))
+        self.rate_history.append(rate)
+        self.demand_log.append(self.demand().as_array().copy())
+        self.progress += rate
+        if self.progress >= self.nominal_slots - 1e-9:
+            self.progress = float(self.nominal_slots)
+            self.state = JobState.COMPLETED
+            self.completion_slot = slot
+
+    # ------------------------------------------------------------------
+    def utilization_history(self) -> np.ndarray:
+        """Per-slot utilization of the request, ``(n, l)`` in [0, 1].
+
+        Resources with a zero request report zero utilization (nothing
+        was allocated, so nothing can be "used" of it).
+        """
+        if not self.demand_log:
+            return np.zeros((0, len(self.requested)))
+        demand = np.asarray(self.demand_log)
+        req = self.requested.as_array()
+        out = np.zeros_like(demand)
+        nz = req > 0
+        out[:, nz] = demand[:, nz] / req[nz]
+        return np.clip(out, 0.0, 1.0)
+
+    def response_slots(self) -> Optional[int]:
+        """Response time in slots (completion − submission + 1), if done."""
+        if self.completion_slot is None:
+            return None
+        return self.completion_slot - self.submit_slot + 1
+
+    def compute_rate(self, granted: ResourceVector) -> float:
+        """Execution rate given a granted resource vector.
+
+        The rate is the *minimum* over resource types of
+        ``granted_k / demand_k`` (capped at 1): a job starved on any one
+        resource it needs runs at that resource's fraction.  Resources
+        the job does not currently demand impose no constraint.
+        """
+        d = self.demand().as_array()
+        g = granted.as_array()
+        needed = d > 1e-12
+        if not needed.any():
+            return 1.0
+        ratios = g[needed] / d[needed]
+        return float(np.clip(ratios.min(), 0.0, 1.0))
+
+    def __repr__(self) -> str:
+        return (
+            f"Job(id={self.job_id}, state={self.state.value}, "
+            f"progress={self.progress:.2f}/{self.nominal_slots}, "
+            f"opportunistic={self.opportunistic})"
+        )

@@ -1,0 +1,274 @@
+"""Physical and virtual machines, placements, and per-VM accounting.
+
+The cloud of Section II: physical machines (PMs) host virtual machines
+(VMs); VM capacity spans multiple resource types; jobs receive VM
+resources.  A :class:`Placement` binds one job to one VM in one of two
+classes:
+
+* **primary** — the job holds a reservation carved out of the VM's
+  *unallocated* capacity; its reservation counts toward the VM's
+  *commitment* (the denominator of the utilization metrics).
+* **opportunistic** — the job rides on the *allocated-but-unused* slack
+  of primary reservations; it adds no commitment but is squeezed first
+  when actual primary demand rebounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from .job import Job, JobState
+from .resources import NUM_RESOURCES, ResourceVector
+
+__all__ = ["Placement", "VirtualMachine", "PhysicalMachine", "SlotOutcome"]
+
+
+@dataclass
+class Placement:
+    """A job running on a VM.
+
+    ``reserved`` is the commitment the placement holds (zero for
+    opportunistic placements); ``granted_cap`` is an optional per-slot
+    ceiling a scheduler may impose below the job's request (used by DRA's
+    share-based redistribution).
+    """
+
+    job: Job
+    vm: "VirtualMachine"
+    reserved: ResourceVector
+    opportunistic: bool
+    granted_cap: Optional[ResourceVector] = None
+
+    def effective_cap(self) -> ResourceVector:
+        """The ceiling applied to this placement's grant each slot."""
+        if self.granted_cap is not None:
+            return self.granted_cap
+        if self.opportunistic:
+            return self.job.requested
+        return self.reserved
+
+
+@dataclass(frozen=True)
+class SlotOutcome:
+    """What one VM did during one executed slot (for metrics/predictors)."""
+
+    committed: ResourceVector
+    primary_demand: ResourceVector
+    opportunistic_demand: ResourceVector
+    served_demand: ResourceVector
+    unused: ResourceVector  # committed - primary demand, clipped at 0
+
+
+class VirtualMachine:
+    """One VM: capacity, placements, commitment and usage history."""
+
+    def __init__(self, vm_id: int, capacity: ResourceVector, pm_id: int = 0) -> None:
+        if not capacity.is_nonnegative() or not capacity.any_positive():
+            raise ValueError("VM capacity must be non-negative and non-zero")
+        self.vm_id = vm_id
+        self.capacity = capacity
+        self.pm_id = pm_id
+        self.placements: list[Placement] = []
+        # Incrementally maintained commitment total — committed() sits on
+        # the scheduler's hottest path (feasibility scans over all VMs).
+        self._committed = np.zeros(NUM_RESOURCES)
+        #: Per-slot history of actual unused resource (n_slots, l) rows;
+        #: this is the series the predictors train on.
+        self._unused_history: list[np.ndarray] = []
+        self._demand_history: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    # commitment accounting
+    # ------------------------------------------------------------------
+    def committed(self) -> ResourceVector:
+        """Total primary reservations currently held on this VM."""
+        return ResourceVector(self._committed)
+
+    def unallocated(self) -> ResourceVector:
+        """Capacity not yet committed to any primary reservation."""
+        return ResourceVector(
+            np.maximum(self.capacity.as_array() - self._committed, 0.0)
+        )
+
+    def primary_demand(self) -> ResourceVector:
+        """Current total demand of the primary placements."""
+        return ResourceVector.sum(
+            p.job.demand() for p in self.placements if not p.opportunistic
+        )
+
+    def opportunistic_demand(self) -> ResourceVector:
+        """Current total demand of the opportunistic placements."""
+        return ResourceVector.sum(
+            p.job.demand() for p in self.placements if p.opportunistic
+        )
+
+    def actual_unused(self) -> ResourceVector:
+        """Allocated-but-unused resource right now (``r − d``, Section II)."""
+        return (self.committed() - self.primary_demand()).clip_nonnegative()
+
+    def opportunistic_load(self) -> ResourceVector:
+        """Demand already promised to opportunistic placements."""
+        return self.opportunistic_demand()
+
+    # ------------------------------------------------------------------
+    # placement management
+    # ------------------------------------------------------------------
+    def can_reserve(self, amount: ResourceVector) -> bool:
+        """Does ``amount`` fit in the unallocated capacity?"""
+        return amount.fits_within(self.unallocated())
+
+    def add_placement(self, placement: Placement) -> None:
+        """Attach a placement, enforcing the reservation capacity check."""
+        if placement.vm is not self:
+            raise ValueError("placement bound to a different VM")
+        if not placement.opportunistic and not self.can_reserve(placement.reserved):
+            raise ValueError(
+                f"VM {self.vm_id} cannot reserve {placement.reserved} "
+                f"(unallocated {self.unallocated()})"
+            )
+        self.placements.append(placement)
+        if not placement.opportunistic:
+            self._committed += placement.reserved.as_array()
+
+    def remove_completed(self) -> list[Job]:
+        """Drop placements whose jobs completed; return those jobs."""
+        done = [p.job for p in self.placements if p.job.state is JobState.COMPLETED]
+        for p in self.placements:
+            if p.job.state is JobState.COMPLETED and not p.opportunistic:
+                self._committed -= p.reserved.as_array()
+        np.maximum(self._committed, 0.0, out=self._committed)  # float drift
+        self.placements = [
+            p for p in self.placements if p.job.state is not JobState.COMPLETED
+        ]
+        return done
+
+    # ------------------------------------------------------------------
+    # slot execution
+    # ------------------------------------------------------------------
+    def execute_slot(self, slot: int) -> SlotOutcome:
+        """Serve one slot: grant resources, advance jobs, record history.
+
+        Primaries are served first, each up to ``min(demand, cap)``;
+        whatever physical capacity remains is shared by opportunistic
+        placements proportionally to their demand (they are squeezed
+        first — they hold no commitment).
+        """
+        committed = self.committed()
+        cap_arr = self.capacity.as_array()
+        primaries = [p for p in self.placements if not p.opportunistic]
+        opportunists = [p for p in self.placements if p.opportunistic]
+
+        # --- primaries ---------------------------------------------------
+        primary_demand = np.zeros(NUM_RESOURCES)
+        primary_granted = np.zeros(NUM_RESOURCES)
+        grants: list[tuple[Placement, ResourceVector]] = []
+        for p in primaries:
+            d = p.job.demand().as_array()
+            cap = p.effective_cap().as_array()
+            g = np.minimum(d, cap)
+            primary_demand += d
+            grants.append((p, ResourceVector(g)))
+            primary_granted += g
+        # Physical sanity: primaries cannot collectively exceed capacity.
+        over = primary_granted > cap_arr + 1e-9
+        if over.any():
+            scale = np.ones(NUM_RESOURCES)
+            scale[over] = cap_arr[over] / primary_granted[over]
+            grants = [
+                (p, ResourceVector(g.as_array() * scale)) for p, g in grants
+            ]
+            primary_granted = np.minimum(primary_granted, cap_arr)
+
+        # --- opportunists -------------------------------------------------
+        remaining = np.maximum(cap_arr - primary_granted, 0.0)
+        opp_demand = np.zeros(NUM_RESOURCES)
+        for p in opportunists:
+            opp_demand += p.job.demand().as_array()
+        if opportunists:
+            scale = np.ones(NUM_RESOURCES)
+            tight = opp_demand > remaining + 1e-12
+            scale[tight] = np.where(
+                opp_demand[tight] > 0, remaining[tight] / opp_demand[tight], 0.0
+            )
+            for p in opportunists:
+                d = p.job.demand().as_array()
+                cap = p.effective_cap().as_array()
+                g = np.minimum(d * scale, cap)
+                grants.append((p, ResourceVector(g)))
+
+        # --- advance ------------------------------------------------------
+        served = np.zeros(NUM_RESOURCES)
+        for p, granted in grants:
+            rate = p.job.compute_rate(granted)
+            served += np.minimum(granted.as_array(), p.job.demand().as_array())
+            p.job.advance(rate, slot)
+
+        unused = (committed - ResourceVector(primary_demand)).clip_nonnegative()
+        self._unused_history.append(unused.as_array().copy())
+        self._demand_history.append(primary_demand + opp_demand)
+        return SlotOutcome(
+            committed=committed,
+            primary_demand=ResourceVector(primary_demand),
+            opportunistic_demand=ResourceVector(opp_demand),
+            served_demand=ResourceVector(served),
+            unused=unused,
+        )
+
+    # ------------------------------------------------------------------
+    # histories (predictor inputs)
+    # ------------------------------------------------------------------
+    def unused_history(self, last: int | None = None) -> np.ndarray:
+        """Per-slot actual unused resource, ``(n, l)`` array."""
+        hist = self._unused_history[-last:] if last else self._unused_history
+        if not hist:
+            return np.zeros((0, NUM_RESOURCES))
+        return np.asarray(hist)
+
+    def demand_history(self, last: int | None = None) -> np.ndarray:
+        """Per-slot total demand served on this VM, ``(n, l)`` array."""
+        hist = self._demand_history[-last:] if last else self._demand_history
+        if not hist:
+            return np.zeros((0, NUM_RESOURCES))
+        return np.asarray(hist)
+
+    def __repr__(self) -> str:
+        return (
+            f"VirtualMachine(id={self.vm_id}, capacity={self.capacity}, "
+            f"jobs={len(self.placements)})"
+        )
+
+
+class PhysicalMachine:
+    """A server hosting VMs (bookkeeping only; contention is per-VM).
+
+    The evaluation simulates each cluster node as a PM carrying VMs
+    (Section IV's "we simulated a node as a PM").  VM capacities must fit
+    within the PM.
+    """
+
+    def __init__(self, pm_id: int, capacity: ResourceVector) -> None:
+        self.pm_id = pm_id
+        self.capacity = capacity
+        self.vms: list[VirtualMachine] = []
+
+    def add_vm(self, vm: VirtualMachine) -> None:
+        """Host a VM, enforcing the PM capacity envelope."""
+        total = ResourceVector.sum(v.capacity for v in self.vms) + vm.capacity
+        if not total.fits_within(self.capacity):
+            raise ValueError(
+                f"PM {self.pm_id} capacity {self.capacity} exceeded by VM set {total}"
+            )
+        vm.pm_id = self.pm_id
+        self.vms.append(vm)
+
+    def free_capacity(self) -> ResourceVector:
+        """PM capacity not yet carved into VMs."""
+        return (
+            self.capacity - ResourceVector.sum(v.capacity for v in self.vms)
+        ).clip_nonnegative()
+
+    def __repr__(self) -> str:
+        return f"PhysicalMachine(id={self.pm_id}, vms={len(self.vms)})"

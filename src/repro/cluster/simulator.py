@@ -1,0 +1,206 @@
+"""Discrete-time-slot cluster simulator.
+
+Drives the slot loop of Section II: jobs arrive per slot, the scheduler
+places them, VMs execute the slot (granting resources and advancing
+jobs), and the recorders accumulate utilization (Eq. 1-4), SLO outcomes
+and allocation latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from .job import Job, JobState
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a trace<->cluster import cycle
+    from ..trace.records import Trace
+from .machine import PhysicalMachine, SlotOutcome, VirtualMachine
+from .metrics import MetricsRecorder
+from .profiles import ClusterProfile
+from .resources import ResourceVector
+from .scheduler import Scheduler
+from .slo import SloSpec, SloTracker
+
+__all__ = ["SimulationConfig", "SimulationResult", "ClusterSimulator"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Run-level knobs.
+
+    Attributes
+    ----------
+    slot_duration_s:
+        Seconds per slot (paper: 10 s).
+    max_slots:
+        Hard stop; a run normally ends when every job completed.
+    slo:
+        The response-time SLO specification.
+    drain:
+        Keep simulating after the last arrival until all jobs finish.
+    """
+
+    slot_duration_s: float = 10.0
+    max_slots: int = 20_000
+    slo: SloSpec = field(default_factory=SloSpec)
+    drain: bool = True
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced, ready for the experiment harness."""
+
+    scheduler_name: str
+    metrics: MetricsRecorder
+    slo: SloTracker
+    n_slots: int
+    n_submitted: int
+    n_completed: int
+    n_rejected: int
+    allocation_latency_s: float
+    prediction_error_rate: Optional[float]
+    jobs: list[Job]
+
+    @property
+    def all_done(self) -> bool:
+        """Every submitted job either completed or was rejected."""
+        return self.n_completed + self.n_rejected == self.n_submitted
+
+    def summary(self) -> dict[str, float]:
+        """Flat scalar summary used by the report tables."""
+        out: dict[str, float] = {
+            "overall_utilization": self.metrics.mean_overall_utilization(),
+            "overall_wastage": self.metrics.mean_overall_wastage(),
+            "slo_violation_rate": self.slo.violation_rate,
+            "allocation_latency_s": self.allocation_latency_s,
+            "n_slots": float(self.n_slots),
+            "n_completed": float(self.n_completed),
+        }
+        for kind, value in self.metrics.utilization_by_resource().items():
+            out[f"utilization_{kind.label.lower()}"] = value
+        if self.prediction_error_rate is not None:
+            out["prediction_error_rate"] = self.prediction_error_rate
+        return out
+
+
+class ClusterSimulator:
+    """Instantiates a profile and replays a workload under a scheduler."""
+
+    def __init__(
+        self,
+        profile: ClusterProfile,
+        scheduler: Scheduler,
+        config: SimulationConfig | None = None,
+    ) -> None:
+        self.profile = profile
+        self.scheduler = scheduler
+        self.config = config or SimulationConfig()
+        self.pms: list[PhysicalMachine]
+        self.vms: list[VirtualMachine]
+        self.pms, self.vms = profile.build()
+        self.metrics = MetricsRecorder()
+        self.slo_tracker = SloTracker(spec=self.config.slo)
+        self.pending: list[Job] = []
+        self.running: list[Job] = []
+        self.rejected: list[Job] = []
+        self.completed: list[Job] = []
+        self.current_slot: int = 0
+        scheduler.bind(self)
+
+    # ------------------------------------------------------------------
+    def max_vm_capacity(self) -> ResourceVector:
+        """Elementwise max capacity across VMs (the ``C'`` of Eq. 22)."""
+        return ResourceVector.elementwise_max(vm.capacity for vm in self.vms)
+
+    def _admit(self, job: Job) -> bool:
+        """Reject jobs no VM could ever host (prevents starved queues)."""
+        biggest = self.max_vm_capacity()
+        return job.requested.fits_within(biggest)
+
+    # ------------------------------------------------------------------
+    def run(self, trace: Trace, *, history: Trace | None = None) -> SimulationResult:
+        """Replay ``trace`` and return the run's metrics.
+
+        Parameters
+        ----------
+        trace:
+            The evaluation workload (already resampled to slot period).
+        history:
+            Historical trace for the scheduler's offline phase (model
+            training).  Defaults to ``trace`` itself — the paper trains
+            on "the historical resource usage data from the Google
+            trace", i.e. the same distribution the evaluation replays.
+        """
+        from ..trace.workload import build_workload
+
+        cfg = self.config
+        workload = build_workload(trace, cfg.slot_duration_s)
+        self.scheduler.prepare(history if history is not None else trace)
+        n_submitted = 0
+
+        slot = 0
+        while slot < cfg.max_slots:
+            self.current_slot = slot
+            # 1. arrivals
+            for record in workload.arrivals_at(slot):
+                job = Job(record=record, submit_slot=slot)
+                n_submitted += 1
+                if self._admit(job):
+                    self.pending.append(job)
+                else:
+                    self.rejected.append(job)
+
+            # 2. scheduling (the timed decision path)
+            with self.scheduler.latency.measure():
+                self.scheduler.on_slot_start(slot)
+                placed = self.scheduler.place_jobs(tuple(self.pending), slot)
+            placed_ids = {j.job_id for j in placed}
+            if placed_ids:
+                self.pending = [j for j in self.pending if j.job_id not in placed_ids]
+                self.running.extend(placed)
+
+            # 3. execute the slot on every VM
+            outcomes: dict[int, SlotOutcome] = {}
+            total_demand = ResourceVector.zeros()
+            total_committed = ResourceVector.zeros()
+            for vm in self.vms:
+                outcome = vm.execute_slot(slot)
+                outcomes[vm.vm_id] = outcome
+                total_demand = total_demand + outcome.served_demand
+                total_committed = total_committed + outcome.committed
+            self.metrics.record(total_demand, total_committed)
+
+            # 4. completions
+            for vm in self.vms:
+                for job in vm.remove_completed():
+                    self.slo_tracker.record(job)
+                    self.completed.append(job)
+            self.running = [j for j in self.running if j.state is JobState.RUNNING]
+
+            # 5. scheduler feedback
+            self.scheduler.on_slot_end(slot, outcomes)
+
+            slot += 1
+            past_arrivals = slot > workload.n_slots
+            nothing_left = not self.pending and not self.running
+            if past_arrivals and (nothing_left or not cfg.drain):
+                break
+
+        error_rate = None
+        if len(self.scheduler.prediction_log) > 0:
+            error_rate = self.scheduler.prediction_log.error_rate(
+                tolerance=getattr(self.scheduler, "error_tolerance", 0.75)
+            )
+        return SimulationResult(
+            scheduler_name=self.scheduler.name,
+            metrics=self.metrics,
+            slo=self.slo_tracker,
+            n_slots=slot,
+            n_submitted=n_submitted,
+            n_completed=len(self.completed),
+            n_rejected=len(self.rejected),
+            allocation_latency_s=self.scheduler.latency.total_s,
+            prediction_error_rate=error_rate,
+            jobs=self.completed + self.running + self.pending + self.rejected,
+        )

@@ -1,0 +1,126 @@
+"""Save/load fitted CORP predictors.
+
+The offline phase (DNN training + HMM fitting on historical trace data)
+is the expensive part of CORP; a production deployment trains once and
+ships the models to the schedulers.  This module serializes a fitted
+:class:`~repro.core.predictor.CorpPredictor` to a single ``.npz``
+archive and restores it bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..cluster.resources import NUM_RESOURCES
+from ..hmm.discretize import ThresholdBands
+from ..hmm.fluctuation import FluctuationPredictor
+from ..hmm.model import HiddenMarkovModel
+from ..nn.network import FeedForwardNetwork
+from .config import CorpConfig
+from .predictor import CorpPredictor
+
+__all__ = ["save_predictor", "load_predictor"]
+
+_FORMAT_VERSION = 1
+
+#: CorpConfig fields that shape the serialized models (the rest are
+#: runtime knobs the scheduler owns).
+_CONFIG_FIELDS = (
+    "window_slots",
+    "input_slots",
+    "n_hidden_layers",
+    "units_per_layer",
+    "hmm_mode",
+    "use_hmm_correction",
+    "prediction_target",
+    "min_history_slots",
+    "train_quantile",
+    "seed",
+)
+
+
+def save_predictor(predictor: CorpPredictor, path: str | Path) -> None:
+    """Serialize a fitted predictor to ``path`` (.npz archive)."""
+    if not predictor.fitted:
+        raise ValueError("predictor is not fitted")
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    meta: dict = {
+        "format_version": _FORMAT_VERSION,
+        "config": {
+            name: getattr(predictor.config, name) for name in _CONFIG_FIELDS
+        },
+        "fluctuation": [],
+    }
+    for k in range(NUM_RESOURCES):
+        for li, layer in enumerate(predictor.networks[k].layers):
+            arrays[f"net{k}/layer{li}/weights"] = layer.weights
+            arrays[f"net{k}/layer{li}/biases"] = layer.biases
+        arrays[f"seed_errors{k}"] = predictor.seed_errors[k]
+        fp = predictor.fluctuation[k]
+        if fp.fitted:
+            arrays[f"hmm{k}/A"] = fp.model.transition
+            arrays[f"hmm{k}/B"] = fp.model.emission
+            arrays[f"hmm{k}/pi"] = fp.model.initial
+            meta["fluctuation"].append(
+                {
+                    "fitted": True,
+                    "window": fp.window,
+                    "mode": fp.mode,
+                    "seed": fp.seed,
+                    "bands": [fp.bands.minimum, fp.bands.mean, fp.bands.maximum],
+                    "correction_scale": fp.correction_scale,
+                }
+            )
+        else:
+            meta["fluctuation"].append(
+                {"fitted": False, "window": fp.window, "mode": fp.mode,
+                 "seed": fp.seed}
+            )
+    arrays["prior_unused_fraction"] = predictor.prior_unused_fraction
+    arrays["_meta"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **arrays)
+
+
+def load_predictor(path: str | Path) -> CorpPredictor:
+    """Restore a predictor saved by :func:`save_predictor`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive["_meta"]).decode("utf-8"))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported predictor format {meta.get('format_version')!r}"
+            )
+        config = CorpConfig(**meta["config"])
+        predictor = CorpPredictor(config=config)
+        predictor.networks = []
+        predictor.fluctuation = []
+        predictor.seed_errors = []
+        for k in range(NUM_RESOURCES):
+            net = FeedForwardNetwork(config.dnn_layer_sizes(), seed=config.seed)
+            for li, layer in enumerate(net.layers):
+                layer.weights[...] = archive[f"net{k}/layer{li}/weights"]
+                layer.biases[...] = archive[f"net{k}/layer{li}/biases"]
+            predictor.networks.append(net)
+            predictor.seed_errors.append(archive[f"seed_errors{k}"].copy())
+            info = meta["fluctuation"][k]
+            fp = FluctuationPredictor(
+                window=info["window"], mode=info["mode"], seed=info["seed"]
+            )
+            if info["fitted"]:
+                fp.model = HiddenMarkovModel(
+                    archive[f"hmm{k}/A"].copy(),
+                    archive[f"hmm{k}/B"].copy(),
+                    archive[f"hmm{k}/pi"].copy(),
+                )
+                lo, mean, hi = info["bands"]
+                fp.bands = ThresholdBands(minimum=lo, mean=mean, maximum=hi)
+                fp.correction_scale = float(info["correction_scale"])
+            predictor.fluctuation.append(fp)
+        predictor.prior_unused_fraction = archive["prior_unused_fraction"].copy()
+    return predictor

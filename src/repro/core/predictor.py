@@ -1,0 +1,232 @@
+"""CORP's unused-resource prediction pipeline (paper Section III-A).
+
+Per resource type, a from-scratch DNN (Table II: 4 layers × 50 units,
+sigmoid) maps a job's utilization over the last ``Δ`` slots to its
+*unused fraction* of the request at horizon ``t + L``; an HMM predicts
+the next fluctuation symbol and adjusts the estimate by
+``± min(h − m, m − l)`` (Section III-A.1b).  Working in fractions of the
+request makes one network serve jobs of every size; amounts are
+recovered by multiplying with the job's request.
+
+The confidence-interval step (Eq. 18-19) and preemption gate (Eq. 21)
+operate at VM granularity in the scheduler (:mod:`repro.core.corp`),
+where predictions are aggregated and compared to actuals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.resources import NUM_RESOURCES, ResourceKind, ResourceVector
+from ..hmm.fluctuation import FluctuationPredictor
+from ..nn.losses import MSE, pinball
+from ..nn.network import FeedForwardNetwork
+from ..nn.optimizers import Adam
+from ..nn.training import TrainingConfig, train
+from ..trace.records import Trace
+from .config import CorpConfig
+
+__all__ = ["CorpPredictor", "build_training_set"]
+
+
+def build_training_set(
+    trace: Trace,
+    kind: ResourceKind,
+    input_slots: int,
+    horizon: int,
+    *,
+    target: str = "window_min",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sliding-window supervised pairs from a historical trace.
+
+    Returns ``(X, y, requests)``: inputs are ``input_slots`` of
+    utilization, targets the unused *fraction* over the prediction
+    window ``ΔW = (t, t+L]`` (Section III-A), and ``requests`` the
+    per-sample request amount (to convert validation errors back to
+    absolute units).  Records shorter than ``input_slots + horizon``
+    contribute nothing.
+
+    ``target`` selects what "the amount of temporarily-unused resource
+    in a time window" means:
+
+    * ``"window_min"`` (default) — the window's minimum unused fraction:
+      the amount guaranteed available across the whole window, i.e. the
+      safely *allocatable* amount.  Conservative by construction, which
+      is what lets the Eq. 21 gate (``Pr(0 ≤ δ < ε) ≥ P_th``) pass for
+      an accurate predictor.
+    * ``"window_mean"`` — the window's mean unused fraction.
+    * ``"point"`` — the unused fraction at exactly ``t + L``.
+    """
+    if target not in ("window_min", "window_mean", "point"):
+        raise ValueError(f"unknown prediction target {target!r}")
+    xs: list[np.ndarray] = []
+    ys: list[float] = []
+    reqs: list[float] = []
+    k = int(kind)
+    for record in trace:
+        util = record.utilization_series()[:, k]
+        n = util.size
+        span = input_slots + horizon
+        if n < span:
+            continue
+        for start in range(n - span + 1):
+            window = util[start + input_slots : start + span]
+            if target == "window_min":
+                y = 1.0 - float(window.max())
+            elif target == "window_mean":
+                y = 1.0 - float(window.mean())
+            else:
+                y = 1.0 - float(window[-1])
+            xs.append(util[start : start + input_slots])
+            ys.append(y)
+            reqs.append(record.requested[kind])
+    if not xs:
+        return (
+            np.zeros((0, input_slots)),
+            np.zeros((0, 1)),
+            np.zeros(0),
+        )
+    return np.asarray(xs), np.asarray(ys)[:, None], np.asarray(reqs)
+
+
+@dataclass
+class CorpPredictor:
+    """Fit-once DNN + HMM predictor over all resource types."""
+
+    config: CorpConfig = field(default_factory=CorpConfig)
+    networks: list[FeedForwardNetwork] = field(default_factory=list)
+    fluctuation: list[FluctuationPredictor] = field(default_factory=list)
+    #: Per-resource validation errors (actual − predicted unused
+    #: fraction of the request) collected during fit — seeds the
+    #: scheduler's Eq. 20/21 trackers so the gate has "historical data
+    #: with prediction error samples" from the start, as the paper
+    #: assumes.
+    seed_errors: list[np.ndarray] = field(default_factory=list)
+    #: Per-resource mean unused fraction of the training data — the
+    #: prior used for jobs too young to feed the DNN.
+    prior_unused_fraction: np.ndarray = field(
+        default_factory=lambda: np.zeros(NUM_RESOURCES)
+    )
+
+    # ------------------------------------------------------------------
+    @property
+    def fitted(self) -> bool:
+        """Whether :meth:`fit` has produced all per-resource models."""
+        return len(self.networks) == NUM_RESOURCES
+
+    def fit(self, history: Trace) -> "CorpPredictor":
+        """Offline phase: train one DNN and one HMM per resource type."""
+        cfg = self.config
+        self.networks = []
+        self.fluctuation = []
+        self.seed_errors = []
+        self.prior_unused_fraction = np.zeros(NUM_RESOURCES)
+        for kind in ResourceKind:
+            x, y, reqs = build_training_set(
+                history,
+                kind,
+                cfg.input_slots,
+                cfg.window_slots,
+                target=cfg.prediction_target,
+            )
+            net = FeedForwardNetwork(
+                cfg.dnn_layer_sizes(), seed=cfg.seed + int(kind)
+            )
+            loss = MSE if cfg.train_quantile is None else pinball(cfg.train_quantile)
+            if x.shape[0] >= 8:
+                train(
+                    net,
+                    x,
+                    y,
+                    TrainingConfig(
+                        max_epochs=cfg.train_max_epochs,
+                        batch_size=cfg.train_batch_size,
+                        patience=8,
+                        seed=cfg.seed + 17 * (int(kind) + 1),
+                    ),
+                    optimizer=Adam(0.01),
+                    loss=loss,
+                )
+                pred = net.predict(x).ravel()
+                # Fraction-of-request errors: the same commitment-fraction
+                # units the scheduler's Eq. 20 trackers use.
+                self.seed_errors.append(y.ravel() - pred)
+            else:
+                self.seed_errors.append(np.zeros(0))
+            if y.size:
+                # Prior at the same conservatism level the DNN trains to.
+                q = cfg.train_quantile if cfg.train_quantile is not None else 0.5
+                self.prior_unused_fraction[int(kind)] = float(np.quantile(y, q))
+            self.networks.append(net)
+
+            # HMM over job-level unused-fraction series.
+            fp = FluctuationPredictor(
+                window=cfg.window_slots,
+                mode=cfg.hmm_mode,  # type: ignore[arg-type]
+                seed=cfg.seed + 101 * (int(kind) + 1),
+            )
+            histories = [
+                1.0 - r.utilization_series()[:, int(kind)]
+                for r in history
+                if r.n_samples >= 2 * cfg.window_slots
+            ]
+            if histories:
+                fp.fit(histories)
+                self.fluctuation.append(fp)
+            else:
+                self.fluctuation.append(fp)  # unfitted: corrections disabled
+        return self
+
+    # ------------------------------------------------------------------
+    def _predict_fraction(self, kind: int, util: np.ndarray) -> float:
+        """DNN unused-fraction forecast from a (possibly short) history."""
+        cfg = self.config
+        window = util[-cfg.input_slots :]
+        if window.size < cfg.input_slots:
+            # Left-pad young jobs with their earliest observed utilization.
+            pad = np.full(cfg.input_slots - window.size, window[0])
+            window = np.concatenate([pad, window])
+        return float(self.networks[kind].predict(window[None, :])[0, 0])
+
+    def predict_job_unused(
+        self, util_history: np.ndarray, request: ResourceVector
+    ) -> ResourceVector:
+        """Predicted unused amount of one job at ``t + L``, HMM-corrected.
+
+        ``util_history`` is the job's per-slot utilization ``(n, l)``
+        (fractions of its request).  Jobs with fewer than
+        ``min_history_slots`` observations fall back to the training
+        prior (a discounted mean unused fraction): evidence-free but far
+        closer than predicting zero, which would register as a large
+        under-prediction and poison the Eq. 20 error statistics.
+        """
+        if not self.fitted:
+            raise RuntimeError("predictor not fitted")
+        cfg = self.config
+        util_history = np.atleast_2d(np.asarray(util_history, dtype=np.float64))
+        out = np.zeros(NUM_RESOURCES)
+        if util_history.shape[0] < cfg.min_history_slots:
+            # Quantile prior: already at the trained conservatism level.
+            return ResourceVector(self.prior_unused_fraction * request.as_array())
+        for kind in range(NUM_RESOURCES):
+            util = util_history[:, kind]
+            fraction = self._predict_fraction(kind, util)
+            if cfg.use_hmm_correction and self.fluctuation[kind].fitted:
+                fp = self.fluctuation[kind]
+                recent_unused = 1.0 - util[-3 * cfg.window_slots :]
+                symbol = fp.predict_next_symbol(recent_unused)
+                fraction += fp.correction(symbol)
+            out[kind] = np.clip(fraction, 0.0, 1.0) * request[ResourceKind(kind)]
+        return ResourceVector(out)
+
+    # ------------------------------------------------------------------
+    def validation_rmse(self) -> np.ndarray:
+        """Per-resource RMSE of the seed errors, in request fractions."""
+        return np.array(
+            [
+                float(np.sqrt(np.mean(e**2))) if e.size else 0.0
+                for e in self.seed_errors
+            ]
+        )

@@ -1,0 +1,355 @@
+"""Shared plumbing of the predictive provisioning schedulers.
+
+CORP, RCCR and CloudScale all follow the same per-window rhythm
+(Section III / Section IV):
+
+1. every ``L`` slots, poll each VM's usage history (one communication
+   operation per VM) and forecast its unused resources for the window;
+2. adjust the forecast conservatively (CI lower bound, padding, ...);
+3. when new jobs arrive, build schedulable entities (packed pairs for
+   CORP, singletons otherwise) and place each on a VM — first trying
+   *unlocked predicted unused* resources (opportunistic placement, if
+   the scheme supports reuse), then unallocated capacity (primary
+   placement with a full reservation);
+4. at slot end, compare forecasts to actual unused amounts (Eq. 20) and
+   feed the error trackers.
+
+Subclasses provide the forecast, the adjustment, the entity builder and
+the VM-choice rule.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from ..cluster.job import Job
+from ..cluster.machine import Placement, SlotOutcome, VirtualMachine
+from ..cluster.resources import NUM_RESOURCES, ResourceVector
+from ..cluster.scheduler import Scheduler
+from .packing import JobEntity, singleton_entities
+from .preemption import PreemptionGate
+from .vm_selection import select_random_feasible
+
+__all__ = ["ProvisioningSchedulerBase"]
+
+
+class ProvisioningSchedulerBase(Scheduler):
+    """Window-driven predictive scheduler skeleton."""
+
+    #: Whether the scheme reallocates predicted-unused resources
+    #: opportunistically (CORP and RCCR do; CloudScale and DRA do not).
+    supports_opportunistic: bool = True
+
+    #: Which realized aggregate the window forecast is compared against
+    #: in the Eq. 20 error samples: the window's *mean* availability
+    #: (what a forecast of "the amount of unused resource in ΔW" being
+    #: consumed by expected-demand riders is accountable to) or its
+    #: *min* (the guaranteed-throughout amount; stricter — ablation).
+    actual_aggregate: str = "mean"
+
+    def __init__(
+        self,
+        *,
+        window_slots: int = 6,
+        error_tolerance: float = 0.75,
+        probability_threshold: float = 0.95,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if window_slots < 1:
+            raise ValueError("window_slots must be >= 1")
+        self.window_slots = window_slots
+        self.error_tolerance = error_tolerance
+        self.gate = PreemptionGate(error_tolerance, probability_threshold)
+        #: Raw (pre-adjustment) forecast errors, the σ̂ source for the
+        #: confidence interval (Eq. 18).  Kept separate from ``gate`` —
+        #: estimating σ̂ from already-adjusted errors would feed the CI
+        #: shift back into its own estimate.
+        self.raw_errors = PreemptionGate(error_tolerance, probability_threshold)
+        self.rng = np.random.default_rng(seed)
+        #: Per-VM predicted unused still available for opportunistic
+        #: placements in the current window (decremented on placement).
+        self._available_unused: dict[int, np.ndarray] = {}
+        #: Per-VM *adjusted* (conservative) forecast of the current
+        #: window, kept for Eq. 20 error tracking and the Fig. 6 log —
+        #: Eq. 19 redefines the forecast as the CI lower bound before
+        #: Eq. 20's errors are taken, so conservatism is part of the
+        #: tracked prediction (schemes without error handling, like DRA,
+        #: track their raw forecast).
+        self._window_forecast: dict[int, np.ndarray] = {}
+        #: Commitment of each VM when its forecast was made, plus the
+        #: primary job set it covered.  Error samples are only taken
+        #: while the job set is unchanged: a completed job frees real
+        #: capacity (an opportunistic rider is never squeezed by a
+        #: completion) and a newly placed job was never part of the
+        #: forecast, so churned windows carry no information about
+        #: predictor quality.
+        self._window_committed: dict[int, np.ndarray] = {}
+        self._window_jobset: dict[int, frozenset[int]] = {}
+        self._window_raw_forecast: dict[int, np.ndarray] = {}
+        #: Running (min, sum, count) of realized availability over the
+        #: window's valid slots — the realized counterpart the forecast
+        #: is scored against (see ``actual_aggregate``).
+        self._window_actual: dict[int, tuple[np.ndarray, np.ndarray, int]] = {}
+
+    # ------------------------------------------------------------------
+    # subclass hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def predict_vm_unused(self, vm: VirtualMachine) -> np.ndarray:
+        """Raw forecast of the VM's unused resources for the next window."""
+
+    def adjust_forecast(self, raw: np.ndarray, vm: VirtualMachine) -> np.ndarray:
+        """Conservative adjustment (default: none)."""
+        return raw
+
+    def make_entities(self, pending: Sequence[Job]) -> list[JobEntity]:
+        """Group pending jobs into schedulable entities (default: singletons)."""
+        return singleton_entities(pending)
+
+    def choose_vm(
+        self,
+        demand: ResourceVector,
+        candidates: Sequence[tuple[VirtualMachine, ResourceVector]],
+    ) -> VirtualMachine | None:
+        """Pick a feasible VM (default: the baselines' uniform random)."""
+        return select_random_feasible(demand, candidates, self.rng)
+
+    def opportunistic_allowed(self) -> bool:
+        """Scheme-level switch on reuse for this window (CORP: Eq. 21)."""
+        return True
+
+    def opportunistic_admission_size(self, entity: JobEntity) -> ResourceVector:
+        """How much pool an opportunistic placement consumes.
+
+        Default: the entity's full request — the conservative admission
+        for schemes with no per-job demand model.  CORP overrides this
+        with its expected demand (admitting best-effort riders at
+        expected rather than worst-case consumption is the point of
+        overcommit; riders absorb any squeeze, per the weaker SLO class
+        of Section I's opportunistic provisioning).
+        """
+        return entity.demand
+
+    # ------------------------------------------------------------------
+    # window mechanics
+    # ------------------------------------------------------------------
+    def on_slot_start(self, slot: int) -> None:
+        """Refresh forecasts at every window boundary."""
+        if slot % self.window_slots == 0:
+            self._refresh_forecasts()
+
+    def _refresh_forecasts(self) -> None:
+        # Emit the previous window's samples before starting a new one.
+        self._emit_window_samples()
+        self._window_forecast.clear()
+        self._window_raw_forecast.clear()
+        self._window_committed.clear()
+        self._window_jobset.clear()
+        self._window_actual.clear()
+        self._available_unused.clear()
+        for vm in self.vms:
+            # Polling a VM's usage history is one remote operation.
+            self.latency.charge_comm(1)
+            raw = np.asarray(self.predict_vm_unused(vm), dtype=np.float64)
+            if raw.shape != (NUM_RESOURCES,):
+                raise ValueError("forecast must have one entry per resource")
+            committed = vm.committed()
+            # No forecast can exceed the commitment it is slack of.
+            raw = np.clip(raw, 0.0, committed.as_array())
+            adjusted = np.clip(self.adjust_forecast(raw, vm), 0.0, None)
+            if committed.any_positive():
+                self._window_forecast[vm.vm_id] = adjusted
+                self._window_raw_forecast[vm.vm_id] = raw
+                self._window_committed[vm.vm_id] = committed.as_array().copy()
+                self._window_jobset[vm.vm_id] = frozenset(
+                    p.job.job_id for p in vm.placements if not p.opportunistic
+                )
+            if not self.supports_opportunistic:
+                continue
+            committed_slack = (
+                committed.as_array() - vm.opportunistic_demand().as_array()
+            )
+            # Opportunistic capacity can never exceed what is actually
+            # committed (the slack lives inside reservations).
+            self._available_unused[vm.vm_id] = np.clip(
+                np.minimum(adjusted, committed_slack), 0.0, None
+            )
+
+    def _vm_capacity_by_id(self, vm_id: int) -> np.ndarray:
+        cache = getattr(self, "_capacity_cache", None)
+        if cache is None:
+            cache = {vm.vm_id: vm.capacity.as_array() for vm in self.vms}
+            self._capacity_cache = cache
+        return cache[vm_id]
+
+    def _drop_window_tracking(self, vm_id: int) -> None:
+        for store in (
+            self._window_forecast,
+            self._window_raw_forecast,
+            self._window_committed,
+            self._window_jobset,
+            self._window_actual,
+        ):
+            store.pop(vm_id, None)
+
+    def _realized(self, vm_id: int) -> np.ndarray:
+        """The realized availability aggregate the forecast is scored on."""
+        minimum, total, count = self._window_actual[vm_id]
+        if self.actual_aggregate == "min":
+            return minimum
+        return total / count
+
+    def _emit_one(self, vm_id: int) -> None:
+        committed = self._window_committed[vm_id]
+        scale = np.maximum(committed, 1e-9)
+        actual = self._realized(vm_id)
+        self.gate.record(self._window_forecast[vm_id] / scale, actual / scale)
+        self.raw_errors.record(
+            self._window_raw_forecast[vm_id] / scale, actual / scale
+        )
+        # Fig. 6 log: CPU forecast vs realized unused CPU (the paper's
+        # running example resource), commitment fractions.
+        if committed[0] > 1e-9:
+            self.prediction_log.add(
+                self._window_forecast[vm_id][0] / scale[0], actual[0] / scale[0]
+            )
+
+    def _emit_window_samples(self) -> None:
+        """One δ sample per tracked VM per window (Eq. 20/21).
+
+        δ compares the forecast against the realized availability over
+        the window (mean or min per ``actual_aggregate``), normalized by
+        the VM's commitment so one tolerance ε compares CPU cores and
+        storage GBs alike.
+        """
+        for vm_id in self._window_actual:
+            self._emit_one(vm_id)
+
+    def on_slot_end(self, slot: int, outcomes: dict[int, SlotOutcome]) -> None:
+        """Score forecasts against realized availability (Eq. 20)."""
+        # Accumulate each tracked VM's realized availability minimum for
+        # as long as its primary job set stays the one the forecast
+        # covered; the first churn (completion or new placement) emits
+        # the sample early and stops tracking — a completed job frees
+        # real capacity and a new placement was never in the forecast,
+        # so later slots carry no information about predictor quality.
+        jobsets = {
+            vm.vm_id: frozenset(
+                p.job.job_id for p in vm.placements if not p.opportunistic
+            )
+            for vm in self.vms
+            if vm.vm_id in self._window_forecast
+        }
+        for vm_id in list(self._window_forecast):
+            if jobsets[vm_id] != self._window_jobset[vm_id]:
+                if vm_id in self._window_actual:
+                    # Emit the partial-window sample, then stop tracking.
+                    self._emit_one(vm_id)
+                self._drop_window_tracking(vm_id)
+                continue
+            actual = (
+                self._window_committed[vm_id]
+                - outcomes[vm_id].primary_demand.as_array()
+            )
+            seen = self._window_actual.get(vm_id)
+            if seen is None:
+                self._window_actual[vm_id] = (actual.copy(), actual.copy(), 1)
+            else:
+                minimum, total, count = seen
+                np.minimum(minimum, actual, out=minimum)
+                total += actual
+                self._window_actual[vm_id] = (minimum, total, count + 1)
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def place_jobs(self, pending: Sequence[Job], slot: int) -> list[Job]:
+        """Place pending jobs entity by entity; returns those placed."""
+        if not pending:
+            return []
+        placed: list[Job] = []
+        allow_opportunistic = (
+            self.supports_opportunistic and self.opportunistic_allowed()
+        )
+        for entity in self.make_entities(pending):
+            placed.extend(
+                self._place_entity_units(entity, slot, allow_opportunistic)
+            )
+        return placed
+
+    def _place_entity_units(
+        self, entity: JobEntity, slot: int, allow_opportunistic: bool
+    ) -> list[Job]:
+        """Place an entity: unused pools first, then unallocated capacity.
+
+        A packed pair that fits no single unused pool falls back to
+        per-job opportunistic attempts before taking a reservation —
+        packing targets fragmentation of *reserved* capacity (Fig. 4),
+        and refusing reuse because the pair only fits apart would waste
+        the very slack CORP exists to harvest.
+        """
+        placed: list[Job] = []
+        remaining = list(entity.jobs)
+        if allow_opportunistic:
+            if self._try_opportunistic(entity, slot):
+                return list(entity.jobs)
+            if entity.is_packed:
+                for job in list(remaining):
+                    if self._try_opportunistic(JobEntity(jobs=(job,)), slot):
+                        placed.append(job)
+                        remaining.remove(job)
+        if not remaining:
+            return placed
+        group = JobEntity(jobs=tuple(remaining))
+        if self._try_primary(group, slot):
+            placed.extend(remaining)
+            return placed
+        if len(remaining) > 1:
+            for job in remaining:
+                if self._try_primary(JobEntity(jobs=(job,)), slot):
+                    placed.append(job)
+        return placed
+
+    def _opportunistic_candidates(self) -> list[tuple[VirtualMachine, ResourceVector]]:
+        return [
+            (vm, ResourceVector(self._available_unused[vm.vm_id]))
+            for vm in self.vms
+            if vm.vm_id in self._available_unused
+        ]
+
+    def _try_opportunistic(self, entity: JobEntity, slot: int) -> bool:
+        admission = self.opportunistic_admission_size(entity)
+        vm = self.choose_vm(admission, self._opportunistic_candidates())
+        if vm is None:
+            return False
+        self._place_entity(entity, vm, slot, opportunistic=True)
+        self._available_unused[vm.vm_id] = np.clip(
+            self._available_unused[vm.vm_id] - admission.as_array(), 0.0, None
+        )
+        return True
+
+    def _try_primary(self, entity: JobEntity, slot: int) -> bool:
+        candidates = [(vm, vm.unallocated()) for vm in self.vms]
+        vm = self.choose_vm(entity.demand, candidates)
+        if vm is None:
+            return False
+        self._place_entity(entity, vm, slot, opportunistic=False)
+        return True
+
+    def _place_entity(
+        self, entity: JobEntity, vm: VirtualMachine, slot: int, *, opportunistic: bool
+    ) -> None:
+        # Dispatching an entity to a VM is one remote operation.
+        self.latency.charge_comm(1)
+        for job in entity.jobs:
+            reserved = (
+                ResourceVector.zeros() if opportunistic else job.requested
+            )
+            vm.add_placement(
+                Placement(job=job, vm=vm, reserved=reserved, opportunistic=opportunistic)
+            )
+            job.start(slot, opportunistic=opportunistic)

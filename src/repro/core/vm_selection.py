@@ -1,0 +1,71 @@
+"""Most-matched VM selection via unused-resource volume (paper Eq. 22).
+
+Among VMs whose available resources satisfy a job entity's demand, CORP
+picks the one with the *smallest* unused-resource volume
+
+.. math:: volume_j = \\sum_k \\hat r_{jk} / C'_k
+
+where ``C'`` is the elementwise maximum capacity across all VMs — the
+least-remaining feasible VM, so big holes stay available for big
+entities (best-fit in volume space; Fig. 5's worked example).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..cluster.machine import VirtualMachine
+from ..cluster.resources import ResourceVector
+
+__all__ = ["unused_volume", "select_most_matched", "select_random_feasible"]
+
+
+def unused_volume(available: ResourceVector, reference: ResourceVector) -> float:
+    """Eq. 22: capacity-normalized total of an availability vector."""
+    return float(available.normalized_by(reference).as_array().sum())
+
+
+def select_most_matched(
+    demand: ResourceVector,
+    candidates: Sequence[tuple[VirtualMachine, ResourceVector]],
+    reference: ResourceVector,
+) -> VirtualMachine | None:
+    """Feasible VM with the smallest availability volume, or None.
+
+    ``candidates`` pairs each VM with the availability vector relevant to
+    the placement class being attempted (predicted unused for
+    opportunistic placements, unallocated capacity for primary ones).
+    Ties break toward the lower VM id for determinism.
+    """
+    best_vm: VirtualMachine | None = None
+    best_volume = np.inf
+    for vm, available in candidates:
+        if not demand.fits_within(available):
+            continue
+        volume = unused_volume(available, reference)
+        if volume < best_volume - 1e-12 or (
+            abs(volume - best_volume) <= 1e-12
+            and best_vm is not None
+            and vm.vm_id < best_vm.vm_id
+        ):
+            best_volume = volume
+            best_vm = vm
+    return best_vm
+
+
+def select_random_feasible(
+    demand: ResourceVector,
+    candidates: Sequence[tuple[VirtualMachine, ResourceVector]],
+    rng: np.random.Generator,
+) -> VirtualMachine | None:
+    """Uniformly random feasible VM — the baselines' placement rule.
+
+    Section IV: RCCR, CloudScale and DRA all "randomly chose a VM that
+    can satisfy the resource demands of the job".
+    """
+    feasible = [vm for vm, available in candidates if demand.fits_within(available)]
+    if not feasible:
+        return None
+    return feasible[int(rng.integers(len(feasible)))]

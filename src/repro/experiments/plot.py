@@ -1,0 +1,156 @@
+"""Dependency-free SVG rendering of figure results.
+
+Turns a :class:`~repro.experiments.figures.FigureResult` (or any
+method → series mapping) into a standalone SVG line chart, so the
+reproduced figures can be *looked at*, not just read as tables — without
+pulling matplotlib into an otherwise NumPy-only dependency set.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Sequence
+
+__all__ = ["render_line_chart", "save_figure_svg"]
+
+#: Method → stroke color, matching the presentation order used everywhere.
+_PALETTE = ("#1b6ca8", "#e08214", "#35978f", "#c51b7d", "#7570b3", "#666666")
+
+_WIDTH, _HEIGHT = 640, 400
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 70, 150, 50, 55
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    if hi <= lo:
+        hi = lo + 1.0
+    step = (hi - lo) / (n - 1)
+    return [lo + i * step for i in range(n)]
+
+
+def render_line_chart(
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one line per series; returns the SVG document as a string."""
+    if not series:
+        raise ValueError("no series to plot")
+    xs = [float(x) for x in x_values]
+    if len(xs) < 1:
+        raise ValueError("need at least one x value")
+    for name, values in series.items():
+        if len(values) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points for {len(xs)} x values"
+            )
+
+    all_y = [float(v) for values in series.values() for v in values]
+    y_lo, y_hi = min(all_y + [0.0]), max(all_y)
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    y_hi *= 1.05
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+
+    plot_w = _WIDTH - _MARGIN_L - _MARGIN_R
+    plot_h = _HEIGHT - _MARGIN_T - _MARGIN_B
+
+    def px(x: float) -> float:
+        return _MARGIN_L + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def py(y: float) -> float:
+        return _MARGIN_T + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        f'<text x="{_WIDTH / 2}" y="24" text-anchor="middle" '
+        f'font-size="15" font-weight="bold">{_escape(title)}</text>',
+    ]
+
+    # axes + gridlines + tick labels
+    for y in _ticks(y_lo, y_hi):
+        parts.append(
+            f'<line x1="{_MARGIN_L}" y1="{py(y):.1f}" '
+            f'x2="{_MARGIN_L + plot_w}" y2="{py(y):.1f}" '
+            f'stroke="#dddddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_L - 8}" y="{py(y) + 4:.1f}" '
+            f'text-anchor="end">{y:.2f}</text>'
+        )
+    for x in xs:
+        parts.append(
+            f'<text x="{px(x):.1f}" y="{_MARGIN_T + plot_h + 18}" '
+            f'text-anchor="middle">{x:g}</text>'
+        )
+    parts.append(
+        f'<line x1="{_MARGIN_L}" y1="{_MARGIN_T}" x2="{_MARGIN_L}" '
+        f'y2="{_MARGIN_T + plot_h}" stroke="black"/>'
+    )
+    parts.append(
+        f'<line x1="{_MARGIN_L}" y1="{_MARGIN_T + plot_h}" '
+        f'x2="{_MARGIN_L + plot_w}" y2="{_MARGIN_T + plot_h}" stroke="black"/>'
+    )
+    parts.append(
+        f'<text x="{_MARGIN_L + plot_w / 2}" y="{_HEIGHT - 14}" '
+        f'text-anchor="middle">{_escape(x_label)}</text>'
+    )
+    parts.append(
+        f'<text x="18" y="{_MARGIN_T + plot_h / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 18 {_MARGIN_T + plot_h / 2})">'
+        f"{_escape(y_label)}</text>"
+    )
+
+    # series
+    for i, (name, values) in enumerate(series.items()):
+        color = _PALETTE[i % len(_PALETTE)]
+        points = " ".join(
+            f"{px(x):.1f},{py(float(v)):.1f}" for x, v in zip(xs, values)
+        )
+        parts.append(
+            f'<polyline fill="none" stroke="{color}" stroke-width="2" '
+            f'points="{points}"/>'
+        )
+        for x, v in zip(xs, values):
+            parts.append(
+                f'<circle cx="{px(x):.1f}" cy="{py(float(v)):.1f}" r="3" '
+                f'fill="{color}"/>'
+            )
+        legend_y = _MARGIN_T + 10 + 20 * i
+        legend_x = _MARGIN_L + plot_w + 14
+        parts.append(
+            f'<line x1="{legend_x}" y1="{legend_y}" x2="{legend_x + 22}" '
+            f'y2="{legend_y}" stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 28}" y="{legend_y + 4}">{_escape(name)}</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_figure_svg(figure_result, path: str | Path, *, y_label: str = "") -> Path:
+    """Write a :class:`FigureResult` as an SVG chart; returns the path."""
+    path = Path(path)
+    svg = render_line_chart(
+        figure_result.x_values,
+        figure_result.series,
+        title=figure_result.title,
+        x_label=figure_result.x_label,
+        y_label=y_label,
+    )
+    path.write_text(svg, encoding="utf-8")
+    return path

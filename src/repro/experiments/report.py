@@ -1,0 +1,85 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every figure bench prints the same rows/series the paper reports, via
+these helpers, so ``pytest benchmarks/ --benchmark-only`` regenerates a
+readable version of the evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series_table", "shape_check"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.4f}",
+) -> str:
+    """Render an aligned text table."""
+    def fmt(cell: object) -> str:
+        """Render one cell (floats via ``float_fmt``)."""
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.4f}",
+) -> str:
+    """Render one column per method over a swept x-axis (a paper figure)."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x, *(values[i] for values in series.values())])
+    return format_table(headers, rows, title=title, float_fmt=float_fmt)
+
+
+def shape_check(
+    series: Mapping[str, Sequence[float]],
+    order: Sequence[str],
+    *,
+    direction: str = "ascending",
+    min_points_fraction: float = 0.6,
+) -> bool:
+    """Does the method ordering hold at most sweep points?
+
+    ``order`` lists methods from smallest to largest expected value when
+    ``direction='ascending'`` (reverse for 'descending').  Returns True
+    when at least ``min_points_fraction`` of the sweep points respect
+    every pairwise comparison — the "shape" criterion of DESIGN.md §4.
+    """
+    if direction not in ("ascending", "descending"):
+        raise ValueError("direction must be 'ascending' or 'descending'")
+    names = list(order)
+    n_points = len(next(iter(series.values())))
+    good = 0
+    for i in range(n_points):
+        values = [series[name][i] for name in names]
+        ok = all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+        if direction == "descending":
+            ok = all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+        good += ok
+    return good >= min_points_fraction * n_points

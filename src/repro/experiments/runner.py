@@ -1,0 +1,140 @@
+"""Experiment runner: one (scheduler, scenario) pair → metrics.
+
+Also hosts the :class:`PredictorCache`, which shares CORP's offline
+DNN/HMM fit across the many runs of a sweep — the paper trains once on
+the historical Google-trace data and reuses the models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from ..baselines import CloudScaleScheduler, DraScheduler, RccrScheduler
+from ..cluster.scheduler import Scheduler
+from ..cluster.simulator import ClusterSimulator, SimulationResult
+from ..core.config import CorpConfig
+from ..core.corp import CorpScheduler
+from ..core.predictor import CorpPredictor
+from ..trace.records import Trace
+from .scenarios import Scenario
+
+__all__ = [
+    "PredictorCache",
+    "default_schedulers",
+    "run_scenario",
+    "run_methods",
+    "METHOD_ORDER",
+]
+
+#: Presentation order used by every report (matches the paper's legends).
+METHOD_ORDER: tuple[str, ...] = ("CORP", "RCCR", "CloudScale", "DRA")
+
+SchedulerFactory = Callable[[], Scheduler]
+
+
+@dataclass
+class PredictorCache:
+    """Caches fitted :class:`CorpPredictor` objects per (config, history).
+
+    Keyed by the CORP config's identity fields and the history trace's
+    object id — sweeps reuse the same history object, so one offline fit
+    serves the whole sweep.
+    """
+
+    _cache: dict[tuple, CorpPredictor] = field(default_factory=dict)
+
+    def get(self, config: CorpConfig, history: Trace) -> CorpPredictor:
+        """Fitted predictor for (config, history), fitting once per key."""
+        key = (
+            id(history),
+            config.window_slots,
+            config.input_slots,
+            config.n_hidden_layers,
+            config.units_per_layer,
+            config.hmm_mode,
+            config.use_hmm_correction,
+            config.prediction_target,
+            config.train_quantile,
+            config.seed,
+            config.train_max_epochs,
+        )
+        predictor = self._cache.get(key)
+        if predictor is None:
+            predictor = CorpPredictor(config=config).fit(history)
+            self._cache[key] = predictor
+        return predictor
+
+
+def default_schedulers(
+    *,
+    corp_config: CorpConfig | None = None,
+    history: Trace | None = None,
+    cache: PredictorCache | None = None,
+    seed: int = 0,
+) -> dict[str, SchedulerFactory]:
+    """Factories for the four methods with the paper's default settings.
+
+    Passing ``history`` (and optionally a ``cache``) pre-fits CORP's
+    predictor so the expensive offline phase is shared across runs.
+    """
+    cfg = corp_config or CorpConfig(seed=seed)
+
+    def make_corp() -> Scheduler:
+        """CORP factory, reusing the cached offline fit when possible."""
+        predictor = None
+        if history is not None:
+            predictor = (cache or PredictorCache()).get(cfg, history)
+        return CorpScheduler(cfg, predictor=predictor)
+
+    return {
+        "CORP": make_corp,
+        "RCCR": lambda: RccrScheduler(
+            window_slots=cfg.window_slots, seed=seed
+        ),
+        "CloudScale": lambda: CloudScaleScheduler(
+            window_slots=cfg.window_slots, seed=seed
+        ),
+        "DRA": lambda: DraScheduler(window_slots=cfg.window_slots, seed=seed),
+    }
+
+
+def run_scenario(
+    scenario: Scenario,
+    scheduler: Scheduler,
+    *,
+    trace: Trace | None = None,
+    history: Trace | None = None,
+) -> SimulationResult:
+    """Run one scheduler over one scenario.
+
+    ``trace``/``history`` may be passed in to share generation across
+    methods (the paper replays the same trace for every scheme).
+    """
+    sim = ClusterSimulator(scenario.profile, scheduler, scenario.sim_config)
+    eval_trace = trace if trace is not None else scenario.evaluation_trace()
+    hist_trace = history if history is not None else scenario.history_trace()
+    return sim.run(eval_trace, history=hist_trace)
+
+
+def run_methods(
+    scenario: Scenario,
+    factories: Mapping[str, SchedulerFactory] | None = None,
+    *,
+    methods: Iterable[str] = METHOD_ORDER,
+    history: Trace | None = None,
+    cache: PredictorCache | None = None,
+    seed: int = 0,
+) -> dict[str, SimulationResult]:
+    """Run every requested method on the *same* evaluation trace."""
+    eval_trace = scenario.evaluation_trace()
+    hist_trace = history if history is not None else scenario.history_trace()
+    if factories is None:
+        factories = default_schedulers(history=hist_trace, cache=cache, seed=seed)
+    results: dict[str, SimulationResult] = {}
+    for name in methods:
+        scheduler = factories[name]()
+        results[name] = run_scenario(
+            scenario, scheduler, trace=eval_trace, history=hist_trace
+        )
+    return results

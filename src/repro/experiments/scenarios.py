@@ -1,0 +1,176 @@
+"""Experiment scenarios mirroring the paper's two testbeds (Table II).
+
+A :class:`Scenario` bundles a cluster profile, an evaluation trace
+recipe, the SLO spec and the history trace used for the offline
+(training) phase.  Two builders mirror Section IV: :func:`cluster_scenario`
+(the Clemson Palmetto testbed of Section IV-A) and :func:`ec2_scenario`
+(the Amazon EC2 testbed of Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..cluster.profiles import ClusterProfile
+from ..cluster.simulator import SimulationConfig
+from ..cluster.slo import SloSpec
+from ..trace.filters import remove_long_lived
+from ..trace.generator import GoogleTraceGenerator, TraceConfig
+from ..trace.records import Trace
+from ..trace.transform import resample_trace
+
+__all__ = ["Scenario", "cluster_scenario", "ec2_scenario", "JOB_COUNTS"]
+
+#: The paper's job-count sweep: "we varied the number of jobs from 50 to
+#: 300 with step size of 50" (Section IV).
+JOB_COUNTS: tuple[int, ...] = (50, 100, 150, 200, 250, 300)
+
+#: Arrival span (seconds) the evaluation packs each job batch into; a
+#: fixed span makes the job count control cluster density, the regime of
+#: the paper's sweeps.
+DEFAULT_ARRIVAL_SPAN_S: float = 100.0
+
+#: Jobs in the historical (training) trace for the offline phase.
+DEFAULT_HISTORY_JOBS: int = 400
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One runnable experiment setting."""
+
+    name: str
+    profile: ClusterProfile
+    n_jobs: int
+    trace_config: TraceConfig
+    history_config: TraceConfig
+    sim_config: SimulationConfig = field(default_factory=SimulationConfig)
+    #: Size of the master job population the evaluation subsamples.
+    #: Every job count of a sweep draws an evenly spaced subset of the
+    #: *same* master trace, so the sweep varies density — not workload
+    #: composition — exactly like replaying more/fewer jobs of one
+    #: trace over the same interval.
+    master_jobs: int = 300
+
+    def evaluation_trace(self) -> Trace:
+        """Generate, filter (short-lived only) and subsample the workload.
+
+        Long-lived jobs are removed per Section IV; job count refers to
+        jobs *after* filtering, so the generator is asked for extras.
+        """
+        cfg = self.trace_config
+        master = max(self.master_jobs, self.n_jobs)
+        # Over-generate so the post-filter count is reached exactly.
+        raw_cfg = replace(
+            cfg,
+            n_jobs=max(int(master / max(cfg.short_fraction, 0.05)) + 10, 10),
+        )
+        raw = GoogleTraceGenerator(raw_cfg).generate()
+        short = remove_long_lived(raw)
+        records = list(short)[:master]
+        if len(records) < master:
+            raise RuntimeError(
+                f"generator produced only {len(records)} short jobs "
+                f"(needed {master}); raise short_fraction or n_jobs"
+            )
+        if self.n_jobs < master:
+            idx = np.round(np.linspace(0, master - 1, self.n_jobs)).astype(int)
+            records = [records[i] for i in idx]
+        return resample_trace(
+            Trace(records),
+            self.sim_config.slot_duration_s,
+            seed=cfg.seed,
+        )
+
+    def history_trace(self) -> Trace:
+        """Historical trace for the offline (model-fitting) phase."""
+        raw = GoogleTraceGenerator(self.history_config).generate()
+        return resample_trace(
+            remove_long_lived(raw),
+            self.sim_config.slot_duration_s,
+            seed=self.history_config.seed,
+        )
+
+
+#: Fluctuation parameters for 10-second sampling.  The paper's trace is
+#: transformed to 10-second granularity and short jobs "exhibit frequent
+#: fluctuations"; generating directly at the slot period puts the
+#: burst/valley regimes on the timescale the predictors (and the HMM)
+#: actually see.  Dwell means of ~8 slots put regime persistence at
+#: ~80 s — mostly predictable at the 1-minute horizon from the recent
+#: window, which is the paper's premise that deep learning *can* track
+#: these fluctuations while pattern-assuming methods cannot.
+_FINE_GRAIN = dict(
+    sample_period_s=10.0,
+    burst_prob=0.03,
+    burst_mean_len=8.0,
+    valley_prob=0.03,
+    valley_mean_len=8.0,
+    noise_sigma=0.03,
+    long_pattern_period_s=600.0,
+)
+
+
+def _base_trace_config(n_jobs: int, seed: int) -> TraceConfig:
+    return TraceConfig(
+        n_jobs=n_jobs,
+        arrival_span_s=DEFAULT_ARRIVAL_SPAN_S,
+        short_fraction=0.92,
+        seed=seed,
+        **_FINE_GRAIN,
+    )
+
+
+def _history_config(seed: int) -> TraceConfig:
+    # The historical trace spreads over a longer horizon (it is "the
+    # Google trace", not the evaluation batch) but shares the workload
+    # statistics; a distinct seed keeps it disjoint from evaluation.
+    return TraceConfig(
+        n_jobs=DEFAULT_HISTORY_JOBS,
+        arrival_rate_per_s=0.2,
+        short_fraction=0.92,
+        seed=seed + 10_000,
+        **_FINE_GRAIN,
+    )
+
+
+def cluster_scenario(
+    n_jobs: int = 300,
+    *,
+    seed: int = 7,
+    slo_slack: float = 1.2,
+    profile: ClusterProfile | None = None,
+) -> Scenario:
+    """Section IV-A: the real-cluster testbed (Palmetto servers).
+
+    The default uses 30 PMs (Table II's server range is 30-50): the
+    regime in which 300 jobs press against cluster capacity, which is
+    where opportunistic reuse pays (DESIGN.md §6).
+    """
+    return Scenario(
+        name=f"cluster-{n_jobs}jobs",
+        profile=profile or ClusterProfile.palmetto(n_pms=30),
+        n_jobs=n_jobs,
+        trace_config=_base_trace_config(n_jobs, seed),
+        history_config=_history_config(seed),
+        sim_config=SimulationConfig(slo=SloSpec(slack_factor=slo_slack)),
+    )
+
+
+def ec2_scenario(
+    n_jobs: int = 300,
+    *,
+    seed: int = 7,
+    slo_slack: float = 1.2,
+    profile: ClusterProfile | None = None,
+) -> Scenario:
+    """Section IV-B: the Amazon EC2 testbed (30 nodes, higher RTT)."""
+    return Scenario(
+        name=f"ec2-{n_jobs}jobs",
+        profile=profile or ClusterProfile.ec2(),
+        n_jobs=n_jobs,
+        trace_config=_base_trace_config(n_jobs, seed),
+        history_config=_history_config(seed),
+        sim_config=SimulationConfig(slo=SloSpec(slack_factor=slo_slack)),
+    )

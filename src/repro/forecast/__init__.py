@@ -1,0 +1,30 @@
+"""Time-series forecasting substrate for the baseline schedulers.
+
+ETS (RCCR), FFT-signature + Markov chain + adaptive padding
+(CloudScale), plus the confidence-interval machinery of Eq. 18-21 that
+CORP and RCCR share.
+"""
+
+from .base import Forecaster
+from .confidence import ConfidenceInterval, PredictionErrorTracker, z_value
+from .errors import mae, mean_error, prediction_error_rate, rmse
+from .ets import HoltLinear, SimpleExponentialSmoothing
+from .fft_signature import FftSignaturePredictor
+from .markov_chain import MarkovChainPredictor
+from .padding import AdaptivePadding
+
+__all__ = [
+    "Forecaster",
+    "ConfidenceInterval",
+    "PredictionErrorTracker",
+    "z_value",
+    "mae",
+    "mean_error",
+    "prediction_error_rate",
+    "rmse",
+    "HoltLinear",
+    "SimpleExponentialSmoothing",
+    "FftSignaturePredictor",
+    "MarkovChainPredictor",
+    "AdaptivePadding",
+]

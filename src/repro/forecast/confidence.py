@@ -1,0 +1,140 @@
+"""Confidence-interval machinery (paper Eq. 18-20).
+
+The predicted unused resource is turned into a conservative estimate by
+subtracting ``σ̂ · z_{θ/2}`` — the lower bound of the confidence interval
+— "because the underestimation of the unused resource makes it
+conservative in reallocating allocated resources, thus avoiding SLO
+violations" (Eq. 19).  ``σ̂`` is the standard deviation of the
+prediction-error samples collected per Eq. 20.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["z_value", "ConfidenceInterval", "PredictionErrorTracker"]
+
+
+def z_value(confidence_level: float) -> float:
+    """``z_{θ/2}`` for confidence level ``η`` (``θ = 1 − η``).
+
+    E.g. ``z_value(0.9) ≈ 1.645``: the 95th percentile of the standard
+    normal, since θ/2 = 0.05 in each tail.
+    """
+    if not 0.0 < confidence_level < 1.0:
+        raise ValueError("confidence_level must be in (0, 1)")
+    theta = 1.0 - confidence_level
+    return float(stats.norm.ppf(1.0 - theta / 2.0))
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """The interval of Eq. 18: ``[û − σ̂ z, û + σ̂ z]``."""
+
+    center: float
+    half_width: float
+
+    @property
+    def lower(self) -> float:
+        """Lower bound ``û − σ̂·z`` (what Eq. 19 allocates against)."""
+        return self.center - self.half_width
+
+    @property
+    def upper(self) -> float:
+        """Upper bound ``û + σ̂·z``."""
+        return self.center + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval (inclusive)."""
+        return self.lower <= value <= self.upper
+
+
+class PredictionErrorTracker:
+    """Collects per-slot prediction errors (Eq. 20) and derives σ̂ and
+    the preemption probability of Eq. 21.
+
+    Errors are ``δ = actual − predicted`` of the unused amount: positive
+    δ means the forecast was conservative.  ``Pr(0 ≤ δ < ε)`` is
+    estimated empirically from the recent error window.
+    """
+
+    def __init__(self, window: int = 200) -> None:
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        self._errors: deque[float] = deque(maxlen=window)
+
+    # ------------------------------------------------------------------
+    def record(self, predicted: float, actual: float) -> float:
+        """Add one error sample; returns δ."""
+        delta = float(actual) - float(predicted)
+        self._errors.append(delta)
+        return delta
+
+    def seed(self, deltas: np.ndarray) -> None:
+        """Preload historical δ samples (Section III-A.2's "historical
+        data with prediction error samples")."""
+        for delta in np.asarray(deltas, dtype=np.float64).ravel():
+            self._errors.append(float(delta))
+
+    def record_window(self, predicted: float, actuals: np.ndarray) -> None:
+        """Eq. 20: one error sample per slot of the prediction window."""
+        for actual in np.asarray(actuals, dtype=np.float64).ravel():
+            self.record(predicted, float(actual))
+
+    # ------------------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        """Number of δ samples currently in the window."""
+        return len(self._errors)
+
+    def sigma(self) -> float:
+        """``σ̂``: sample standard deviation of the error window."""
+        if len(self._errors) < 2:
+            return 0.0
+        return float(np.std(np.asarray(self._errors), ddof=1))
+
+    def quantile(self, q: float) -> float:
+        """Empirical ``q``-quantile of the error window.
+
+        The distribution-free analogue of the ``z_{θ/2}`` percentile:
+        shifting a forecast down by ``−quantile(θ/2)`` gives one-sided
+        coverage ``1 − θ/2`` without assuming Gaussian errors — which
+        matters because burst-driven errors are left-skewed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self._errors:
+            return 0.0
+        return float(np.quantile(np.asarray(self._errors), q))
+
+    def interval(self, prediction: float, confidence_level: float) -> ConfidenceInterval:
+        """Eq. 18 around a point prediction."""
+        return ConfidenceInterval(
+            center=float(prediction),
+            half_width=self.sigma() * z_value(confidence_level),
+        )
+
+    def conservative(self, prediction: float, confidence_level: float) -> float:
+        """Eq. 19: the interval's lower bound, floored at zero.
+
+        The floor reflects that a negative amount of unused resource is
+        meaningless for allocation.
+        """
+        return max(self.interval(prediction, confidence_level).lower, 0.0)
+
+    def probability_within(self, tolerance: float) -> float:
+        """Empirical ``Pr(0 ≤ δ < ε)`` over the error window (Eq. 21 input).
+
+        With no samples yet, returns 0 — an unlocked-by-default stance
+        would risk SLO violations before any evidence exists.
+        """
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        if not self._errors:
+            return 0.0
+        e = np.asarray(self._errors)
+        return float(np.logical_and(e >= 0.0, e < tolerance).mean())

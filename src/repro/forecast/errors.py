@@ -1,0 +1,54 @@
+"""Prediction-error metrics, including Fig. 6's error-rate definition.
+
+Section IV-A: "we calculated the ratio of the correctly predicted jobs
+(the jobs whose prediction errors are within ``[0, ε)``) to the number
+of jobs"; the *error rate* plotted in Fig. 6 is the complement of that
+ratio (lower is better and CORP is lowest).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["prediction_error_rate", "rmse", "mae", "mean_error"]
+
+
+def _pair(predicted: np.ndarray, actual: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    p = np.asarray(predicted, dtype=np.float64).ravel()
+    a = np.asarray(actual, dtype=np.float64).ravel()
+    if p.shape != a.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {a.shape}")
+    if p.size == 0:
+        raise ValueError("empty prediction arrays")
+    return p, a
+
+
+def prediction_error_rate(
+    predicted: np.ndarray, actual: np.ndarray, tolerance: float
+) -> float:
+    """Fraction of predictions whose error ``actual − predicted`` is NOT in
+    ``[0, ε)`` — the Fig. 6 metric, in ``[0, 1]``."""
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    p, a = _pair(predicted, actual)
+    err = a - p
+    correct = np.logical_and(err >= 0.0, err < tolerance)
+    return float(1.0 - correct.mean())
+
+
+def rmse(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Root mean squared error."""
+    p, a = _pair(predicted, actual)
+    return float(np.sqrt(np.mean((a - p) ** 2)))
+
+
+def mae(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Mean absolute error."""
+    p, a = _pair(predicted, actual)
+    return float(np.mean(np.abs(a - p)))
+
+
+def mean_error(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """Signed mean error (bias); positive = conservative predictions."""
+    p, a = _pair(predicted, actual)
+    return float(np.mean(a - p))

@@ -1,0 +1,80 @@
+"""Adaptive padding — CloudScale's prediction-error handling.
+
+Section IV: "we extracted the burst pattern to get the padding value and
+calculated the prediction errors ... Next, we used the adaptive padding
+that is based on the recent burstiness of resource usage and recent
+prediction errors to correct the prediction errors."  Padding raises a
+*demand* prediction (equivalently lowers an *unused* prediction) to
+avoid under-provisioning on bursts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["AdaptivePadding"]
+
+
+class AdaptivePadding:
+    """Tracks recent burstiness and under-prediction errors.
+
+    The pad is ``max(burst_pad, error_pad)`` where
+
+    * ``burst_pad`` — recent observed burst amplitude: high percentile of
+      the last ``window`` usage samples minus their mean;
+    * ``error_pad`` — high percentile of recent *under-prediction*
+      magnitudes (cases where actual usage exceeded the prediction).
+    """
+
+    def __init__(self, window: int = 30, percentile: float = 80.0) -> None:
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError("percentile must be in (0, 100]")
+        self.window = window
+        self.percentile = percentile
+        self._usage: deque[float] = deque(maxlen=window)
+        self._under_errors: deque[float] = deque(maxlen=window)
+        self._cached_pad: float | None = None
+
+    # ------------------------------------------------------------------
+    def observe_usage(self, value: float) -> None:
+        """Record one actual usage sample."""
+        self._usage.append(float(value))
+        self._cached_pad = None
+
+    def observe_error(self, predicted: float, actual: float) -> None:
+        """Record one (predicted, actual) usage pair.
+
+        Only under-predictions (actual above predicted) contribute —
+        padding exists to prevent them.
+        """
+        shortfall = float(actual) - float(predicted)
+        self._under_errors.append(max(shortfall, 0.0))
+        self._cached_pad = None
+
+    # ------------------------------------------------------------------
+    def burst_pad(self) -> float:
+        """High-percentile excess of recent usage over its mean."""
+        if len(self._usage) < 2:
+            return 0.0
+        u = np.asarray(self._usage)
+        return float(max(np.percentile(u, self.percentile) - u.mean(), 0.0))
+
+    def error_pad(self) -> float:
+        """High percentile of recent under-prediction magnitudes."""
+        if not self._under_errors:
+            return 0.0
+        return float(np.percentile(np.asarray(self._under_errors), self.percentile))
+
+    def pad(self) -> float:
+        """The padding applied on top of a demand prediction (>= 0).
+
+        Memoized between observations — the scheduler reads it once per
+        placement on a hot path.
+        """
+        if self._cached_pad is None:
+            self._cached_pad = max(self.burst_pad(), self.error_pad())
+        return self._cached_pad

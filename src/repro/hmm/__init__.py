@@ -1,0 +1,51 @@
+"""Hidden Markov Model substrate (paper Section III-A.1b, Eq. 9-17).
+
+From-scratch scaled forward-backward, Viterbi decoding, Baum-Welch
+re-estimation, peak/center/valley symbolization and the next-fluctuation
+predictor CORP uses to correct its DNN forecasts.
+"""
+
+from .baum_welch import BaumWelchConfig, BaumWelchResult, baum_welch
+from .discretize import (
+    CENTER,
+    PEAK,
+    VALLEY,
+    ThresholdBands,
+    windowed_observations,
+)
+from .fluctuation import FluctuationPredictor, SymbolizeMode
+from .forward_backward import (
+    ForwardBackwardResult,
+    forward_backward,
+    sequence_log_likelihood,
+)
+from .model import (
+    STATE_NAMES,
+    SYMBOL_NAMES,
+    HiddenMarkovModel,
+    default_fluctuation_model,
+)
+from .viterbi import ViterbiResult, map_states, viterbi
+
+__all__ = [
+    "BaumWelchConfig",
+    "BaumWelchResult",
+    "baum_welch",
+    "CENTER",
+    "PEAK",
+    "VALLEY",
+    "ThresholdBands",
+    "windowed_observations",
+    "FluctuationPredictor",
+    "SymbolizeMode",
+    "ForwardBackwardResult",
+    "forward_backward",
+    "sequence_log_likelihood",
+    "STATE_NAMES",
+    "SYMBOL_NAMES",
+    "HiddenMarkovModel",
+    "default_fluctuation_model",
+    "ViterbiResult",
+    "map_states",
+    "viterbi",
+]

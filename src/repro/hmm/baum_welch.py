@@ -1,0 +1,131 @@
+"""Baum-Welch re-estimation of ``A, B, π``.
+
+Section III-A.1b: "we use the method in [30] to re-estimate the
+parameters A, B, π" — [30] is Stamp's *A Revealing Introduction to
+Hidden Markov Models*, i.e. standard scaled Baum-Welch EM.  Supports
+multiple observation sequences (each job contributes one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .forward_backward import forward_backward
+from .model import HiddenMarkovModel
+
+__all__ = ["BaumWelchConfig", "BaumWelchResult", "baum_welch"]
+
+
+@dataclass(frozen=True)
+class BaumWelchConfig:
+    """EM loop knobs."""
+
+    max_iterations: int = 50
+    #: Stop when the total log-likelihood improves by less than this.
+    tolerance: float = 1e-4
+    #: Dirichlet-style smoothing added to every accumulated count so no
+    #: probability collapses to exactly zero (keeps Viterbi/forward well
+    #: defined on unseen symbols).
+    smoothing: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        if self.smoothing < 0:
+            raise ValueError("smoothing must be non-negative")
+
+
+@dataclass
+class BaumWelchResult:
+    """Fitted model and the EM trajectory."""
+
+    model: HiddenMarkovModel
+    log_likelihoods: list[float] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def n_iterations(self) -> int:
+        """EM iterations actually run."""
+        return len(self.log_likelihoods)
+
+
+def _em_step(
+    model: HiddenMarkovModel,
+    sequences: Sequence[np.ndarray],
+    smoothing: float,
+) -> tuple[HiddenMarkovModel, float]:
+    """One EM iteration over all sequences; returns (new model, total LL)."""
+    H = model.n_states
+    M = model.n_symbols
+    A = model.transition
+    B = model.emission
+
+    trans_num = np.full((H, H), smoothing)
+    emit_num = np.full((H, M), smoothing)
+    gamma_sum_not_last = np.full(H, smoothing * H)
+    gamma_sum_all = np.full(H, smoothing * M)
+    pi_acc = np.full(H, smoothing)
+    total_ll = 0.0
+
+    for seq in sequences:
+        obs = model.validate_observations(seq)
+        fb = forward_backward(model, obs)
+        total_ll += fb.log_likelihood
+        T = obs.size
+        gamma = fb.gamma
+        pi_acc += gamma[0]
+        if T > 1:
+            # ξ_t(i, j) ∝ α_t(i) A_ij B_j(O_{t+1}) β_{t+1}(j); accumulate
+            # its sum over t with one einsum instead of a Python loop.
+            b_next = B[:, obs[1:]].T          # (T-1, H)
+            weighted = fb.beta[1:] * b_next / fb.scales[1:, None]
+            trans_num += A * np.einsum("ti,tj->ij", fb.alpha[:-1], weighted)
+            gamma_sum_not_last += gamma[:-1].sum(axis=0)
+        gamma_sum_all += gamma.sum(axis=0)
+        np.add.at(emit_num.T, obs, gamma)  # emit_num[j, k] += Σ_{t: O_t=k} γ_t(j)
+
+    n_seq = len(sequences)
+    new_A = trans_num / gamma_sum_not_last[:, None]
+    new_B = emit_num / gamma_sum_all[:, None]
+    new_pi = pi_acc / (n_seq + smoothing * H)
+    # Renormalize against accumulated smoothing drift.
+    new_A /= new_A.sum(axis=1, keepdims=True)
+    new_B /= new_B.sum(axis=1, keepdims=True)
+    new_pi /= new_pi.sum()
+    return HiddenMarkovModel(new_A, new_B, new_pi), total_ll
+
+
+def baum_welch(
+    model: HiddenMarkovModel,
+    sequences: Sequence[np.ndarray] | np.ndarray,
+    config: BaumWelchConfig | None = None,
+) -> BaumWelchResult:
+    """Fit ``model`` to one or more observation sequences by EM.
+
+    The returned model is the final iterate; ``log_likelihoods[i]`` is
+    the data log-likelihood *under the model at the start of iteration
+    i*, so the list is (weakly) increasing when EM behaves.
+    """
+    cfg = config or BaumWelchConfig()
+    if isinstance(sequences, np.ndarray) and sequences.ndim == 1:
+        sequences = [sequences]
+    sequences = [np.asarray(s, dtype=np.int64) for s in sequences]
+    if not sequences:
+        raise ValueError("need at least one observation sequence")
+
+    result = BaumWelchResult(model=model.copy())
+    previous_ll = -np.inf
+    for _ in range(cfg.max_iterations):
+        new_model, ll = _em_step(result.model, sequences, cfg.smoothing)
+        result.log_likelihoods.append(ll)
+        result.model = new_model
+        if ll - previous_ll < cfg.tolerance and np.isfinite(previous_ll):
+            result.converged = True
+            break
+        previous_ll = ll
+    return result

@@ -1,0 +1,106 @@
+"""Scaled forward-backward recursions (paper Eq. 12-15).
+
+Computes the forward variable ``α_t(i) = P(O_1..O_t, q_t = S_i | λ)``
+(Eq. 14), the backward variable ``β_t(i)`` (Eq. 15) and the state
+posterior ``γ_t(i) = α_t(i) β_t(i) / P(O | λ)`` (Eq. 13), using
+per-step scaling [Rabiner 1989, the paper's ref 29] so long sequences do
+not underflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .model import HiddenMarkovModel
+
+__all__ = ["ForwardBackwardResult", "forward_backward", "sequence_log_likelihood"]
+
+
+@dataclass(frozen=True)
+class ForwardBackwardResult:
+    """Scaled recursions plus derived quantities.
+
+    ``alpha``/``beta`` are the *scaled* variables (each forward row sums
+    to 1); ``scales[t]`` is the normalizer of step ``t``, so the sequence
+    log-likelihood is ``sum(log(scales))``.  ``gamma`` is the exact state
+    posterior of Eq. 13 (scaling cancels).
+    """
+
+    alpha: np.ndarray  # (T, H) scaled forward variables
+    beta: np.ndarray   # (T, H) scaled backward variables
+    gamma: np.ndarray  # (T, H) state posteriors (Eq. 13)
+    scales: np.ndarray  # (T,) per-step normalizers
+    log_likelihood: float
+
+
+def forward_backward(
+    model: HiddenMarkovModel, observations: np.ndarray
+) -> ForwardBackwardResult:
+    """Run the scaled α/β recursions over an observation sequence."""
+    obs = model.validate_observations(observations)
+    T = obs.size
+    H = model.n_states
+    A = model.transition
+    B = model.emission
+    alpha = np.empty((T, H))
+    beta = np.empty((T, H))
+    scales = np.empty(T)
+
+    # --- forward (Eq. 14, induction per Rabiner) -----------------------
+    alpha[0] = model.initial * B[:, obs[0]]
+    scales[0] = alpha[0].sum()
+    if scales[0] <= 0.0:
+        raise ValueError("observation impossible under the model (zero forward mass)")
+    alpha[0] /= scales[0]
+    for t in range(1, T):
+        alpha[t] = (alpha[t - 1] @ A) * B[:, obs[t]]
+        scales[t] = alpha[t].sum()
+        if scales[t] <= 0.0:
+            raise ValueError(
+                f"observation at t={t} impossible under the model"
+            )
+        alpha[t] /= scales[t]
+
+    # --- backward (Eq. 15), scaled with the same normalizers ----------
+    beta[T - 1] = 1.0
+    for t in range(T - 2, -1, -1):
+        beta[t] = (A * B[:, obs[t + 1]]) @ beta[t + 1]
+        beta[t] /= scales[t + 1]
+
+    # --- posterior (Eq. 13) --------------------------------------------
+    gamma = alpha * beta
+    gamma /= gamma.sum(axis=1, keepdims=True)
+
+    return ForwardBackwardResult(
+        alpha=alpha,
+        beta=beta,
+        gamma=gamma,
+        scales=scales,
+        log_likelihood=float(np.log(scales).sum()),
+    )
+
+
+def sequence_log_likelihood(
+    model: HiddenMarkovModel, observations: np.ndarray
+) -> float:
+    """``log P(O | λ)`` via the forward recursion only."""
+    obs = model.validate_observations(observations)
+    A = model.transition
+    B = model.emission
+    alpha = model.initial * B[:, obs[0]]
+    total = 0.0
+    s = alpha.sum()
+    if s <= 0.0:
+        return float("-inf")
+    alpha /= s
+    total += np.log(s)
+    for t in range(1, obs.size):
+        alpha = (alpha @ A) * B[:, obs[t]]
+        s = alpha.sum()
+        if s <= 0.0:
+            return float("-inf")
+        alpha /= s
+        total += np.log(s)
+    return float(total)

@@ -1,0 +1,130 @@
+"""Hidden Markov Model container ``λ = (A, B, π)`` (paper Eq. 9-11).
+
+The paper's fluctuation model has ``H = 3`` hidden states —
+over-provisioning (OP), normal-provisioning (NP), under-provisioning
+(UP) — and ``M = 3`` observation symbols — peak, center, valley
+(Section III-A.1b, Fig. 3).  The container is generic in ``H``/``M``;
+the CORP defaults are exposed as :func:`default_fluctuation_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "HiddenMarkovModel",
+    "default_fluctuation_model",
+    "STATE_NAMES",
+    "SYMBOL_NAMES",
+]
+
+#: Hidden-state labels of the paper's model (Fig. 3).
+STATE_NAMES: tuple[str, ...] = ("OP", "NP", "UP")
+#: Observation-symbol labels; index 0/1/2 = peak/center/valley, matching
+#: the paper's "1, 2, 3 represent 'peak', 'center' and 'valley'".
+SYMBOL_NAMES: tuple[str, ...] = ("peak", "center", "valley")
+
+
+def _validate_stochastic(matrix: np.ndarray, name: str, axis: int = -1) -> None:
+    if np.any(matrix < -1e-12):
+        raise ValueError(f"{name} has negative entries")
+    sums = matrix.sum(axis=axis)
+    if not np.allclose(sums, 1.0, atol=1e-6):
+        raise ValueError(f"{name} rows must sum to 1 (got {sums})")
+
+
+@dataclass
+class HiddenMarkovModel:
+    """``λ = (A, B, π)``.
+
+    Attributes
+    ----------
+    transition:
+        ``A[i, j] = P(q_{t+1} = S_j | q_t = S_i)`` (Eq. 9), shape (H, H).
+    emission:
+        ``B[j, k] = P(O_t = k | q_t = S_j)`` (Eq. 10), shape (H, M).
+    initial:
+        ``π_i = P(q_1 = S_i)`` (Eq. 11), shape (H,).
+    """
+
+    transition: np.ndarray
+    emission: np.ndarray
+    initial: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.transition = np.asarray(self.transition, dtype=np.float64)
+        self.emission = np.asarray(self.emission, dtype=np.float64)
+        self.initial = np.asarray(self.initial, dtype=np.float64)
+        H = self.transition.shape[0]
+        if self.transition.shape != (H, H):
+            raise ValueError("transition matrix must be square")
+        if self.emission.ndim != 2 or self.emission.shape[0] != H:
+            raise ValueError("emission must be (H, M)")
+        if self.initial.shape != (H,):
+            raise ValueError("initial must be (H,)")
+        _validate_stochastic(self.transition, "transition")
+        _validate_stochastic(self.emission, "emission")
+        _validate_stochastic(self.initial[None, :], "initial")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_states(self) -> int:
+        """``H`` of Eq. 9 (paper: 3)."""
+        return self.transition.shape[0]
+
+    @property
+    def n_symbols(self) -> int:
+        """``M`` of Eq. 10 (paper: 3)."""
+        return self.emission.shape[1]
+
+    def validate_observations(self, observations: np.ndarray) -> np.ndarray:
+        """Coerce and range-check an observation sequence."""
+        obs = np.asarray(observations, dtype=np.int64).ravel()
+        if obs.size == 0:
+            raise ValueError("observation sequence is empty")
+        if obs.min() < 0 or obs.max() >= self.n_symbols:
+            raise ValueError(
+                f"observations must be in [0, {self.n_symbols}); "
+                f"got range [{obs.min()}, {obs.max()}]"
+            )
+        return obs
+
+    def copy(self) -> "HiddenMarkovModel":
+        """Deep copy of λ = (A, B, π)."""
+        return HiddenMarkovModel(
+            self.transition.copy(), self.emission.copy(), self.initial.copy()
+        )
+
+
+def default_fluctuation_model(seed: int | None = None) -> HiddenMarkovModel:
+    """The paper's 3-state/3-symbol model with a sensible starting point.
+
+    States are sticky (fluctuation regimes persist for a few windows) and
+    each state prefers "its" symbol: OP→peak of unused resource,
+    NP→center, UP→valley.  Baum-Welch re-estimation refines these from
+    data; a seed perturbs the start to break ties.
+    """
+    A = np.array(
+        [
+            [0.6, 0.3, 0.1],
+            [0.2, 0.6, 0.2],
+            [0.1, 0.3, 0.6],
+        ]
+    )
+    B = np.array(
+        [
+            [0.7, 0.2, 0.1],
+            [0.15, 0.7, 0.15],
+            [0.1, 0.2, 0.7],
+        ]
+    )
+    pi = np.array([0.25, 0.5, 0.25])
+    if seed is not None:
+        rng = np.random.default_rng(seed)
+        A = A + rng.uniform(0.0, 0.02, A.shape)
+        B = B + rng.uniform(0.0, 0.02, B.shape)
+        A /= A.sum(axis=1, keepdims=True)
+        B /= B.sum(axis=1, keepdims=True)
+    return HiddenMarkovModel(A, B, pi)

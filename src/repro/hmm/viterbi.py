@@ -1,0 +1,63 @@
+"""Viterbi decoding: the single best state sequence.
+
+Section III-A.1b: "In implementation, we use [the] Viterbi algorithm to
+find the single best state sequence (path) ... i.e., maximizing
+``P(Q, O | λ)`` which is equivalent to maximizing ``P(Q | O, λ)``."
+Also provides the per-step MAP decoder of Eq. 16 (argmax of γ) for the
+tests that contrast the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .forward_backward import forward_backward
+from .model import HiddenMarkovModel
+
+__all__ = ["ViterbiResult", "viterbi", "map_states"]
+
+
+@dataclass(frozen=True)
+class ViterbiResult:
+    """Best path and its joint log-probability ``log P(Q*, O | λ)``."""
+
+    states: np.ndarray  # (T,) int state indices
+    log_probability: float
+
+
+def viterbi(model: HiddenMarkovModel, observations: np.ndarray) -> ViterbiResult:
+    """Most likely hidden state sequence (log-space, no underflow)."""
+    obs = model.validate_observations(observations)
+    T = obs.size
+    H = model.n_states
+    with np.errstate(divide="ignore"):
+        logA = np.log(model.transition)
+        logB = np.log(model.emission)
+        logpi = np.log(model.initial)
+
+    delta = np.empty((T, H))
+    psi = np.zeros((T, H), dtype=np.int64)
+    delta[0] = logpi + logB[:, obs[0]]
+    for t in range(1, T):
+        # candidate[i, j] = delta[t-1, i] + logA[i, j]
+        candidate = delta[t - 1][:, None] + logA
+        psi[t] = candidate.argmax(axis=0)
+        delta[t] = candidate[psi[t], np.arange(H)] + logB[:, obs[t]]
+
+    states = np.empty(T, dtype=np.int64)
+    states[T - 1] = int(delta[T - 1].argmax())
+    for t in range(T - 2, -1, -1):
+        states[t] = psi[t + 1, states[t + 1]]
+    return ViterbiResult(states=states, log_probability=float(delta[T - 1].max()))
+
+
+def map_states(model: HiddenMarkovModel, observations: np.ndarray) -> np.ndarray:
+    """Eq. 16: per-step individually most likely states (argmax of γ).
+
+    Maximizes the *expected number of correct states*; unlike Viterbi the
+    resulting sequence may traverse zero-probability transitions.
+    """
+    result = forward_backward(model, observations)
+    return result.gamma.argmax(axis=1)

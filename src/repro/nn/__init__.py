@@ -1,0 +1,50 @@
+"""From-scratch deep-learning substrate (paper Section III-A.1a).
+
+NumPy implementation of the paper's DNN: feed-forward evaluation
+(Eq. 5), back-propagation (Eq. 6-7), weight updates (Eq. 8), epoch
+training with validation convergence, and the autoencoder path.
+"""
+
+from .activations import LINEAR, RELU, SIGMOID, TANH, Activation, get_activation
+from .autoencoder import Autoencoder, pretrain_hidden_stack
+from .initializers import get_initializer, he_normal, small_uniform, xavier_uniform
+from .layers import DenseLayer
+from .losses import MAE, MSE, Loss, get_loss, pinball
+from .network import FeedForwardNetwork
+from .optimizers import SGD, Adam, Momentum, Optimizer, get_optimizer
+from .parallel import DataParallelTrainer
+from .scaling import MinMaxScaler
+from .training import TrainingConfig, TrainingHistory, train, train_validation_split
+
+__all__ = [
+    "LINEAR",
+    "RELU",
+    "SIGMOID",
+    "TANH",
+    "Activation",
+    "get_activation",
+    "Autoencoder",
+    "pretrain_hidden_stack",
+    "get_initializer",
+    "he_normal",
+    "small_uniform",
+    "xavier_uniform",
+    "DenseLayer",
+    "MAE",
+    "MSE",
+    "Loss",
+    "get_loss",
+    "pinball",
+    "FeedForwardNetwork",
+    "SGD",
+    "Adam",
+    "Momentum",
+    "Optimizer",
+    "get_optimizer",
+    "DataParallelTrainer",
+    "MinMaxScaler",
+    "TrainingConfig",
+    "TrainingHistory",
+    "train",
+    "train_validation_split",
+]

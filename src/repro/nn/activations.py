@@ -1,0 +1,92 @@
+"""Activation functions for the from-scratch DNN (paper Eq. 5).
+
+The paper's network uses the sigmoid — "Equ. (5) is a sigmoid function,
+which is a nonlinear function associated with all neurons in the network"
+— with its derivative feeding the back-propagated error terms (Eq. 6-7).
+Alternatives are provided for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Activation", "SIGMOID", "TANH", "RELU", "LINEAR", "get_activation"]
+
+
+@dataclass(frozen=True)
+class Activation:
+    """An activation and its derivative expressed in terms of the output.
+
+    ``deriv`` takes the *activation output* ``g`` (not the pre-activation),
+    matching the paper's ``F'(g_i(d))`` notation in Eq. 6-7 — for the
+    sigmoid, ``F'(g) = g (1 − g)``.
+    """
+
+    name: str
+    fn: Callable[[np.ndarray], np.ndarray]
+    deriv: Callable[[np.ndarray], np.ndarray]
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.fn(x)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    # Numerically stable piecewise form: exp only ever sees non-positive
+    # arguments, so no overflow warnings on large |x|.
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def _sigmoid_deriv(g: np.ndarray) -> np.ndarray:
+    return g * (1.0 - g)
+
+
+def _tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def _tanh_deriv(g: np.ndarray) -> np.ndarray:
+    return 1.0 - g * g
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def _relu_deriv(g: np.ndarray) -> np.ndarray:
+    return (g > 0.0).astype(np.float64)
+
+
+def _identity(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+def _identity_deriv(g: np.ndarray) -> np.ndarray:
+    return np.ones_like(g)
+
+
+SIGMOID = Activation("sigmoid", _sigmoid, _sigmoid_deriv)
+TANH = Activation("tanh", _tanh, _tanh_deriv)
+RELU = Activation("relu", _relu, _relu_deriv)
+LINEAR = Activation("linear", _identity, _identity_deriv)
+
+_REGISTRY: dict[str, Activation] = {
+    a.name: a for a in (SIGMOID, TANH, RELU, LINEAR)
+}
+
+
+def get_activation(name: str) -> Activation:
+    """Look an activation up by name (raises ``KeyError`` with options)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown activation {name!r}; options: {sorted(_REGISTRY)}"
+        ) from None

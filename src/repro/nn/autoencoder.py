@@ -1,0 +1,111 @@
+"""Autoencoder path of the paper's DNN training (Section III-A.1a).
+
+"For training, it first computes the hidden activation. Next, it computes
+the reconstructed output from the hidden activation. Then the algorithm
+computes the error gradient, and it back-propagates [the] error gradient
+to update weight[s]. For testing, the algorithm autoencodes the input and
+generates the output."
+
+We implement this as denoising-free autoencoder *pre-training* of the
+hidden stack (encode → reconstruct → backprop reconstruction error),
+whose learned hidden weights can seed the supervised predictor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .network import FeedForwardNetwork
+from .optimizers import SGD, Optimizer
+from .training import TrainingConfig, TrainingHistory, train
+
+__all__ = ["Autoencoder", "pretrain_hidden_stack"]
+
+
+class Autoencoder:
+    """Symmetric encoder/decoder over the input window.
+
+    ``layer_sizes`` describes the *encoder* (input first, code last); the
+    decoder mirrors it.  Training minimizes reconstruction MSE.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: list[int],
+        *,
+        activation: str = "sigmoid",
+        seed: int = 0,
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least input and code sizes")
+        full = layer_sizes + layer_sizes[-2::-1]
+        self.network = FeedForwardNetwork(
+            full,
+            hidden_activation=activation,
+            output_activation="sigmoid",
+            seed=seed,
+        )
+        self._n_encoder_layers = len(layer_sizes) - 1
+
+    @property
+    def input_size(self) -> int:
+        """Width of the input (and reconstruction) layer."""
+        return self.network.input_size
+
+    @property
+    def code_size(self) -> int:
+        """Width of the bottleneck (code) layer."""
+        return self.network.layers[self._n_encoder_layers - 1].out_features
+
+    # ------------------------------------------------------------------
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        """Hidden activation of the code layer."""
+        out = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        for layer in self.network.layers[: self._n_encoder_layers]:
+            out = layer.forward(out, train=False)
+        return out
+
+    def reconstruct(self, x: np.ndarray) -> np.ndarray:
+        """Autoencode: encode then decode back to input space."""
+        return self.network.predict(x)
+
+    def reconstruction_error(self, x: np.ndarray) -> float:
+        """Mean squared reconstruction error."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        return float(np.mean((self.reconstruct(x) - x) ** 2))
+
+    def fit(
+        self,
+        x: np.ndarray,
+        config: TrainingConfig | None = None,
+        *,
+        optimizer: Optimizer | None = None,
+    ) -> TrainingHistory:
+        """Train to reconstruct ``x`` (targets are the inputs)."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        return train(
+            self.network, x, x, config, optimizer=optimizer or SGD()
+        )
+
+
+def pretrain_hidden_stack(
+    network: FeedForwardNetwork,
+    x: np.ndarray,
+    *,
+    config: TrainingConfig | None = None,
+    seed: int = 0,
+) -> Autoencoder:
+    """Autoencoder-pretrain ``network``'s first hidden layer.
+
+    Builds an autoencoder whose code layer matches the network's first
+    hidden layer, fits it on ``x``, and copies the learned encoder
+    weights into the network — the classic 2016-era unsupervised
+    initialization the paper's training description follows.
+    """
+    first = network.layers[0]
+    ae = Autoencoder([first.in_features, first.out_features], seed=seed)
+    ae.fit(x, config)
+    encoder = ae.network.layers[0]
+    first.weights[...] = encoder.weights
+    first.biases[...] = encoder.biases
+    return ae

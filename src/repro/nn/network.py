@@ -1,0 +1,161 @@
+"""Feed-forward deep neural network (paper Section III-A.1a, Fig. 2).
+
+The paper builds a DNN with multiple hidden layers (Table II: ``h = 4``
+layers of ``N_n = 50`` units) and trains it with the three steps of
+Section III-A.1a — feed-forward evaluation (Eq. 5), back-propagation
+(Eq. 6-7) and weight updates (Eq. 8) — repeated over epochs until a
+held-out validation error converges (the loop lives in
+:mod:`repro.nn.training`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .layers import DenseLayer
+from .losses import MSE, Loss
+from .optimizers import SGD, Optimizer
+
+__all__ = ["FeedForwardNetwork"]
+
+
+class FeedForwardNetwork:
+    """A stack of :class:`DenseLayer` with a regression head.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Unit counts including input and output, e.g. ``[6, 50, 50, 50, 50, 1]``
+        for the paper's 4×50 hidden stack over a 6-slot input window.
+    hidden_activation:
+        Activation of the hidden layers (paper: sigmoid).
+    output_activation:
+        Activation of the output layer.  ``"sigmoid"`` keeps outputs in
+        ``(0, 1)`` — natural since unused resource is scaled to [0, 1] by
+        the feature scaler; ``"linear"`` gives an unconstrained head.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        *,
+        hidden_activation: str = "sigmoid",
+        output_activation: str = "sigmoid",
+        initializer: str = "xavier_uniform",
+        seed: int = 0,
+    ) -> None:
+        sizes = list(layer_sizes)
+        if len(sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        if any(s < 1 for s in sizes):
+            raise ValueError("layer sizes must be positive")
+        rng = np.random.default_rng(seed)
+        self.layers: list[DenseLayer] = []
+        for i, (n_in, n_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+            is_last = i == len(sizes) - 2
+            self.layers.append(
+                DenseLayer(
+                    n_in,
+                    n_out,
+                    activation=output_activation if is_last else hidden_activation,
+                    initializer=initializer,
+                    rng=rng,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def input_size(self) -> int:
+        """Width of the input layer."""
+        return self.layers[0].in_features
+
+    @property
+    def output_size(self) -> int:
+        """Width of the output layer."""
+        return self.layers[-1].out_features
+
+    @property
+    def n_hidden_layers(self) -> int:
+        """Number of hidden layers (the paper's ``h``)."""
+        return len(self.layers) - 1
+
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Feed-forward evaluation without caching (inference path)."""
+        out = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        for layer in self.layers:
+            out = layer.forward(out, train=False)
+        return out
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Feed-forward with caches for a subsequent backward pass."""
+        out = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        for layer in self.layers:
+            out = layer.forward(out, train=True)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> None:
+        """Propagate ``∂Loss/∂output`` down the stack (Eq. 6-7)."""
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+
+    def apply_gradients(self, optimizer: Optimizer) -> None:
+        """Let the optimizer consume each layer's cached gradients (Eq. 8)."""
+        for idx, layer in enumerate(self.layers):
+            params = layer.parameters()
+            grads = layer.gradients()
+            for name in params:
+                optimizer.step(f"layer{idx}/{name}", params[name], grads[name])
+
+    # ------------------------------------------------------------------
+    def train_batch(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        optimizer: Optimizer | None = None,
+        loss: Loss = MSE,
+    ) -> float:
+        """One forward/backward/update cycle over a batch; returns the loss."""
+        optimizer = optimizer or SGD()
+        y = np.atleast_2d(np.asarray(y, dtype=np.float64))
+        pred = self.forward(x)
+        if pred.shape != y.shape:
+            raise ValueError(f"target shape {y.shape} != prediction {pred.shape}")
+        value = loss.fn(pred, y)
+        self.backward(loss.grad(pred, y))
+        self.apply_gradients(optimizer)
+        return value
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray, *, loss: Loss = MSE) -> float:
+        """Loss on a held-out set (no parameter updates)."""
+        y = np.atleast_2d(np.asarray(y, dtype=np.float64))
+        return loss.fn(self.predict(x), y)
+
+    # ------------------------------------------------------------------
+    def get_weights(self) -> list[dict[str, np.ndarray]]:
+        """Copies of every layer's parameters (for checkpointing)."""
+        return [
+            {k: v.copy() for k, v in layer.parameters().items()}
+            for layer in self.layers
+        ]
+
+    def set_weights(self, weights: list[dict[str, np.ndarray]]) -> None:
+        """Restore parameters captured by :meth:`get_weights`."""
+        if len(weights) != len(self.layers):
+            raise ValueError("weight list does not match layer count")
+        for layer, saved in zip(self.layers, weights):
+            params = layer.parameters()
+            for name, value in saved.items():
+                if params[name].shape != value.shape:
+                    raise ValueError(f"shape mismatch for {name}")
+                params[name][...] = value
+
+    def __repr__(self) -> str:
+        arch = " -> ".join(
+            [str(self.input_size)] + [str(l.out_features) for l in self.layers]
+        )
+        return f"FeedForwardNetwork({arch})"

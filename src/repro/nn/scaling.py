@@ -1,0 +1,63 @@
+"""Feature scaling for DNN inputs/targets.
+
+The sigmoid-output network predicts in (0, 1); unused-resource amounts
+are scaled into that range with a min-max scaler fitted on the training
+data and inverted at prediction time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MinMaxScaler"]
+
+
+class MinMaxScaler:
+    """Per-column min-max scaling to ``[margin, 1 − margin]``.
+
+    The margin keeps targets away from the sigmoid's saturated tails,
+    where gradients vanish.
+    """
+
+    def __init__(self, margin: float = 0.05) -> None:
+        if not 0.0 <= margin < 0.5:
+            raise ValueError("margin must be in [0, 0.5)")
+        self.margin = margin
+        self._min: np.ndarray | None = None
+        self._range: np.ndarray | None = None
+
+    @property
+    def fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._min is not None
+
+    def fit(self, data: np.ndarray) -> "MinMaxScaler":
+        """Fit column minima/ranges; constant columns get range 1."""
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        self._min = data.min(axis=0)
+        rng = data.max(axis=0) - self._min
+        rng[rng <= 1e-12] = 1.0
+        self._range = rng
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Scale data into the fitted margin band."""
+        if self._min is None or self._range is None:
+            raise RuntimeError("scaler not fitted")
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        unit = (data - self._min) / self._range
+        span = 1.0 - 2.0 * self.margin
+        return self.margin + span * np.clip(unit, 0.0, 1.0)
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit on ``data`` and scale it in one call."""
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, data: np.ndarray) -> np.ndarray:
+        """Map scaled values back to the original units."""
+        if self._min is None or self._range is None:
+            raise RuntimeError("scaler not fitted")
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        span = 1.0 - 2.0 * self.margin
+        unit = (data - self.margin) / span
+        return unit * self._range + self._min

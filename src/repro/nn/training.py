@@ -1,0 +1,147 @@
+"""Epoch-based training loop with validation convergence.
+
+Section III-A.1a: "the training continues for multiple training epochs,
+processing the training data set each time, until the validation set
+error converges to a low value."  :func:`train` implements exactly that:
+shuffled mini-batch epochs, a held-out validation split, and early stop
+when the validation loss stops improving (with best-weights restore).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .losses import MSE, Loss
+from .network import FeedForwardNetwork
+from .optimizers import SGD, Optimizer
+
+__all__ = ["TrainingConfig", "TrainingHistory", "train", "train_validation_split"]
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Knobs of the epoch loop."""
+
+    max_epochs: int = 200
+    batch_size: int = 32
+    #: Fraction of the data held out for validation-convergence checks.
+    validation_fraction: float = 0.2
+    #: Stop when validation loss has not improved by ``min_delta`` for
+    #: ``patience`` consecutive epochs.
+    patience: int = 10
+    min_delta: float = 1e-5
+    shuffle: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_epochs < 1:
+            raise ValueError("max_epochs must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if not 0.0 <= self.validation_fraction < 1.0:
+            raise ValueError("validation_fraction must be in [0, 1)")
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch losses and the stopping outcome."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    best_epoch: int = -1
+    stopped_early: bool = False
+
+    @property
+    def n_epochs(self) -> int:
+        """Number of epochs actually run."""
+        return len(self.train_loss)
+
+    @property
+    def final_val_loss(self) -> float:
+        """Validation loss at the best epoch (NaN before training)."""
+        return self.val_loss[self.best_epoch] if self.val_loss else float("nan")
+
+
+def train_validation_split(
+    x: np.ndarray, y: np.ndarray, fraction: float, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random split into (x_train, y_train, x_val, y_val)."""
+    n = x.shape[0]
+    if y.shape[0] != n:
+        raise ValueError("x and y must have the same number of rows")
+    n_val = int(round(n * fraction))
+    idx = rng.permutation(n)
+    val_idx, train_idx = idx[:n_val], idx[n_val:]
+    if train_idx.size == 0:
+        raise ValueError("validation fraction leaves no training data")
+    return x[train_idx], y[train_idx], x[val_idx], y[val_idx]
+
+
+def train(
+    network: FeedForwardNetwork,
+    x: np.ndarray,
+    y: np.ndarray,
+    config: TrainingConfig | None = None,
+    *,
+    optimizer: Optimizer | None = None,
+    loss: Loss = MSE,
+) -> TrainingHistory:
+    """Train ``network`` on ``(x, y)`` with validation-based early stop.
+
+    Returns the :class:`TrainingHistory`; the network is left holding the
+    weights of its best validation epoch.
+    """
+    cfg = config or TrainingConfig()
+    optimizer = optimizer or SGD()
+    rng = np.random.default_rng(cfg.seed)
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    y = np.atleast_2d(np.asarray(y, dtype=np.float64))
+    if y.shape[0] != x.shape[0]:
+        raise ValueError("x and y row counts differ")
+
+    if cfg.validation_fraction > 0.0 and x.shape[0] >= 5:
+        x_tr, y_tr, x_val, y_val = train_validation_split(
+            x, y, cfg.validation_fraction, rng
+        )
+        if x_val.shape[0] == 0:
+            x_val, y_val = x_tr, y_tr
+    else:
+        x_tr, y_tr = x, y
+        x_val, y_val = x, y
+
+    history = TrainingHistory()
+    best_val = float("inf")
+    best_weights = network.get_weights()
+    stale = 0
+    n = x_tr.shape[0]
+    for epoch in range(cfg.max_epochs):
+        order = rng.permutation(n) if cfg.shuffle else np.arange(n)
+        epoch_loss = 0.0
+        n_batches = 0
+        for start in range(0, n, cfg.batch_size):
+            batch = order[start : start + cfg.batch_size]
+            epoch_loss += network.train_batch(
+                x_tr[batch], y_tr[batch], optimizer=optimizer, loss=loss
+            )
+            n_batches += 1
+        history.train_loss.append(epoch_loss / max(n_batches, 1))
+        val = network.evaluate(x_val, y_val, loss=loss)
+        history.val_loss.append(val)
+        if val < best_val - cfg.min_delta:
+            best_val = val
+            best_weights = network.get_weights()
+            history.best_epoch = epoch
+            stale = 0
+        else:
+            stale += 1
+            if stale >= cfg.patience:
+                history.stopped_early = True
+                break
+    network.set_weights(best_weights)
+    if history.best_epoch < 0:
+        history.best_epoch = 0
+    return history

@@ -1,0 +1,35 @@
+"""Workload substrate: synthetic Google-trace generation and replay.
+
+Substitutes the Google cluster trace the paper replays (see DESIGN.md §2)
+with a statistically matched generator, plus the paper's own
+transformations: 5-minute → 10-second resampling and long-lived-job
+removal (Section IV).
+"""
+
+from .filters import is_short_lived, keep_long_lived, limit_jobs, remove_long_lived
+from .generator import INTENSITY_CLASSES, GoogleTraceGenerator, TraceConfig
+from .io import load_jsonl, load_usage_csv, save_jsonl
+from .records import SHORT_JOB_TIMEOUT_S, TaskRecord, Trace
+from .transform import DEFAULT_TARGET_PERIOD_S, resample_record, resample_trace
+from .workload import Workload, build_workload
+
+__all__ = [
+    "is_short_lived",
+    "keep_long_lived",
+    "limit_jobs",
+    "remove_long_lived",
+    "INTENSITY_CLASSES",
+    "GoogleTraceGenerator",
+    "TraceConfig",
+    "load_jsonl",
+    "load_usage_csv",
+    "save_jsonl",
+    "SHORT_JOB_TIMEOUT_S",
+    "TaskRecord",
+    "Trace",
+    "DEFAULT_TARGET_PERIOD_S",
+    "resample_record",
+    "resample_trace",
+    "Workload",
+    "build_workload",
+]

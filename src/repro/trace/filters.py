@@ -1,0 +1,49 @@
+"""Trace filters used by the evaluation setup.
+
+Section IV: "we removed the long-lived jobs from the Google trace because
+it can fully verify if CORP can really overcome the limitations of the
+other approaches for handling the prediction of the amount of unused
+resource of short-lived jobs."
+"""
+
+from __future__ import annotations
+
+from .records import SHORT_JOB_TIMEOUT_S, TaskRecord, Trace
+
+__all__ = [
+    "remove_long_lived",
+    "keep_long_lived",
+    "limit_jobs",
+    "is_short_lived",
+]
+
+
+def is_short_lived(record: TaskRecord, timeout_s: float = SHORT_JOB_TIMEOUT_S) -> bool:
+    """True iff the record is a short-lived job.
+
+    A job is short-lived when it is flagged so *and* its duration respects
+    the 5-minute timeout; the conjunction guards against inconsistent
+    records coming from external trace loaders.
+    """
+    return record.is_short and record.duration_s <= timeout_s
+
+
+def remove_long_lived(trace: Trace, timeout_s: float = SHORT_JOB_TIMEOUT_S) -> Trace:
+    """The paper's filter: keep short-lived jobs only."""
+    return trace.filter(lambda r: is_short_lived(r, timeout_s))
+
+
+def keep_long_lived(trace: Trace, timeout_s: float = SHORT_JOB_TIMEOUT_S) -> Trace:
+    """Complement of :func:`remove_long_lived` (used by tests/ablations)."""
+    return trace.filter(lambda r: not is_short_lived(r, timeout_s))
+
+
+def limit_jobs(trace: Trace, n_jobs: int) -> Trace:
+    """First ``n_jobs`` records by submission time.
+
+    The evaluation sweeps the job count from 50 to 300 in steps of 50
+    (Section IV); this implements that truncation.
+    """
+    if n_jobs < 0:
+        raise ValueError("n_jobs must be non-negative")
+    return Trace(list(trace)[:n_jobs])

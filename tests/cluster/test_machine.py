@@ -1,0 +1,226 @@
+"""VM/PM accounting, placement rules and slot execution semantics."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.job import Job, JobState
+from repro.cluster.machine import PhysicalMachine, Placement, VirtualMachine
+from repro.cluster.resources import ResourceVector
+
+from .test_job import make_record
+
+
+def make_vm(capacity=(8.0, 32.0, 360.0), vm_id=0) -> VirtualMachine:
+    return VirtualMachine(vm_id, ResourceVector(capacity))
+
+
+def running_job(*, request=(2, 4, 10), util=None, duration_s=60.0, task_id=0) -> Job:
+    job = Job(
+        record=make_record(
+            request=request, util=util, duration_s=duration_s, task_id=task_id
+        ),
+        submit_slot=0,
+    )
+    return job
+
+
+def place(vm, job, *, opportunistic=False, reserved=None, cap=None, slot=0):
+    reserved = (
+        ResourceVector.zeros()
+        if opportunistic
+        else (reserved if reserved is not None else job.requested)
+    )
+    p = Placement(job=job, vm=vm, reserved=reserved, opportunistic=opportunistic,
+                  granted_cap=cap)
+    vm.add_placement(p)
+    job.start(slot, opportunistic=opportunistic)
+    return p
+
+
+class TestVmConstruction:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            VirtualMachine(0, ResourceVector.zeros())
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            VirtualMachine(0, ResourceVector([-1, 2, 3]))
+
+
+class TestCommitmentAccounting:
+    def test_empty_vm(self):
+        vm = make_vm()
+        assert vm.committed() == ResourceVector.zeros()
+        assert vm.unallocated() == vm.capacity
+
+    def test_primary_commits(self):
+        vm = make_vm()
+        place(vm, running_job(request=(2, 4, 10)))
+        assert vm.committed() == ResourceVector([2, 4, 10])
+        assert vm.unallocated() == ResourceVector([6, 28, 350])
+
+    def test_opportunistic_does_not_commit(self):
+        vm = make_vm()
+        place(vm, running_job(), opportunistic=True)
+        assert vm.committed() == ResourceVector.zeros()
+
+    def test_can_reserve_respects_unallocated(self):
+        vm = make_vm(capacity=(4, 8, 20))
+        place(vm, running_job(request=(3, 4, 10)))
+        assert vm.can_reserve(ResourceVector([1, 4, 10]))
+        assert not vm.can_reserve(ResourceVector([2, 4, 10]))
+
+    def test_overcommit_primary_rejected(self):
+        vm = make_vm(capacity=(4, 8, 20))
+        place(vm, running_job(request=(3, 4, 10), task_id=1))
+        job2 = running_job(request=(2, 2, 2), task_id=2)
+        with pytest.raises(ValueError):
+            vm.add_placement(
+                Placement(job=job2, vm=vm, reserved=job2.requested, opportunistic=False)
+            )
+
+    def test_placement_on_wrong_vm_rejected(self):
+        vm1, vm2 = make_vm(vm_id=1), make_vm(vm_id=2)
+        job = running_job()
+        with pytest.raises(ValueError):
+            vm1.add_placement(
+                Placement(job=job, vm=vm2, reserved=job.requested, opportunistic=False)
+            )
+
+    def test_actual_unused(self):
+        vm = make_vm(capacity=(10, 10, 10))
+        place(vm, running_job(request=(10, 10, 10), util=np.full(6, 0.4)))
+        unused = vm.actual_unused()
+        np.testing.assert_allclose(unused.as_array(), [6, 6, 6])
+
+
+class TestSlotExecution:
+    def test_primary_gets_full_demand(self):
+        vm = make_vm()
+        job = running_job(request=(4, 4, 4), util=np.full(6, 0.5))
+        place(vm, job)
+        outcome = vm.execute_slot(0)
+        assert job.rate_history[-1] == pytest.approx(1.0)
+        np.testing.assert_allclose(outcome.primary_demand.as_array(), [2, 2, 2])
+
+    def test_granted_cap_squeezes_primary(self):
+        vm = make_vm()
+        job = running_job(request=(4, 4, 4), util=np.full(6, 0.5))
+        place(vm, job, cap=ResourceVector([1, 4, 4]))  # cpu cap half the demand
+        vm.execute_slot(0)
+        assert job.rate_history[-1] == pytest.approx(0.5)
+
+    def test_opportunistic_served_from_leftover(self):
+        vm = make_vm(capacity=(4, 16, 100))
+        primary = running_job(request=(4, 8, 50), util=np.full(6, 0.25), task_id=1)
+        rider = running_job(request=(3, 3, 3), util=np.full(6, 0.5), task_id=2)
+        place(vm, primary)
+        place(vm, rider, opportunistic=True)
+        vm.execute_slot(0)
+        # leftover cpu = 4 - 1 = 3 >= rider demand 1.5 -> full speed
+        assert rider.rate_history[-1] == pytest.approx(1.0)
+
+    def test_opportunistic_squeezed_when_capacity_tight(self):
+        vm = make_vm(capacity=(4, 16, 100))
+        primary = running_job(request=(4, 8, 50), util=np.full(6, 0.75), task_id=1)
+        rider = running_job(request=(4, 4, 4), util=np.full(6, 0.5), task_id=2)
+        place(vm, primary)
+        place(vm, rider, opportunistic=True)
+        vm.execute_slot(0)
+        # leftover cpu = 4 - 3 = 1; rider demand 2 -> rate 0.5
+        assert primary.rate_history[-1] == pytest.approx(1.0)
+        assert rider.rate_history[-1] == pytest.approx(0.5)
+
+    def test_riders_share_leftover_proportionally(self):
+        vm = make_vm(capacity=(4, 16, 100))
+        primary = running_job(request=(4, 8, 50), util=np.full(6, 0.5), task_id=1)
+        r1 = running_job(request=(4, 4, 4), util=np.full(6, 0.5), task_id=2)
+        r2 = running_job(request=(4, 4, 4), util=np.full(6, 0.5), task_id=3)
+        place(vm, primary)
+        place(vm, r1, opportunistic=True)
+        place(vm, r2, opportunistic=True)
+        vm.execute_slot(0)
+        # leftover cpu 2; rider demand 2+2=4 -> each at rate 0.5
+        assert r1.rate_history[-1] == pytest.approx(0.5)
+        assert r2.rate_history[-1] == pytest.approx(0.5)
+
+    def test_outcome_unused_tracks_committed_minus_demand(self):
+        vm = make_vm()
+        place(vm, running_job(request=(8, 8, 8), util=np.full(6, 0.25)))
+        outcome = vm.execute_slot(0)
+        np.testing.assert_allclose(outcome.unused.as_array(), [6, 6, 6])
+
+    def test_history_accumulates(self):
+        vm = make_vm()
+        place(vm, running_job(request=(8, 8, 8), util=np.full(6, 0.5)))
+        vm.execute_slot(0)
+        vm.execute_slot(1)
+        assert vm.unused_history().shape == (2, 3)
+        assert vm.unused_history(last=1).shape == (1, 3)
+        assert vm.demand_history().shape == (2, 3)
+
+    def test_empty_vm_histories(self):
+        vm = make_vm()
+        assert vm.unused_history().shape == (0, 3)
+        assert vm.demand_history().shape == (0, 3)
+
+    def test_remove_completed(self):
+        vm = make_vm()
+        job = running_job(duration_s=10)  # one slot
+        place(vm, job)
+        vm.execute_slot(0)
+        assert job.state is JobState.COMPLETED
+        done = vm.remove_completed()
+        assert done == [job]
+        assert vm.placements == []
+
+    def test_remove_completed_keeps_running(self):
+        vm = make_vm()
+        job = running_job(duration_s=60)
+        place(vm, job)
+        vm.execute_slot(0)
+        assert vm.remove_completed() == []
+        assert len(vm.placements) == 1
+
+
+class TestPlacementCaps:
+    def test_effective_cap_primary_defaults_to_reservation(self):
+        vm = make_vm()
+        p = place(vm, running_job(request=(2, 4, 10)))
+        assert p.effective_cap() == ResourceVector([2, 4, 10])
+
+    def test_effective_cap_opportunistic_defaults_to_request(self):
+        vm = make_vm()
+        p = place(vm, running_job(request=(2, 4, 10)), opportunistic=True)
+        assert p.effective_cap() == ResourceVector([2, 4, 10])
+
+    def test_effective_cap_explicit(self):
+        vm = make_vm()
+        p = place(vm, running_job(), cap=ResourceVector([1, 1, 1]))
+        assert p.effective_cap() == ResourceVector([1, 1, 1])
+
+
+class TestPhysicalMachine:
+    def test_add_vm_within_capacity(self):
+        pm = PhysicalMachine(0, ResourceVector([16, 64, 720]))
+        pm.add_vm(make_vm(capacity=(8, 32, 360), vm_id=0))
+        pm.add_vm(make_vm(capacity=(8, 32, 360), vm_id=1))
+        assert len(pm.vms) == 2
+        assert pm.free_capacity() == ResourceVector.zeros()
+
+    def test_add_vm_overflow_rejected(self):
+        pm = PhysicalMachine(0, ResourceVector([8, 32, 360]))
+        pm.add_vm(make_vm(capacity=(8, 32, 360)))
+        with pytest.raises(ValueError):
+            pm.add_vm(make_vm(capacity=(1, 1, 1), vm_id=1))
+
+    def test_add_vm_sets_pm_id(self):
+        pm = PhysicalMachine(7, ResourceVector([16, 64, 720]))
+        vm = make_vm()
+        pm.add_vm(vm)
+        assert vm.pm_id == 7
+
+    def test_repr(self):
+        pm = PhysicalMachine(1, ResourceVector([16, 64, 720]))
+        assert "id=1" in repr(pm)
+        assert "id=0" in repr(make_vm())

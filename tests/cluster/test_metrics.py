@@ -1,0 +1,147 @@
+"""Eq. 1-4 metric functions and the per-run recorder."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster.metrics import (
+    MetricsRecorder,
+    overall_utilization,
+    overall_wastage,
+    utilization,
+    wastage,
+)
+from repro.cluster.resources import ResourceKind, ResourceVector
+
+pos = st.floats(min_value=0.01, max_value=1e4, allow_nan=False)
+vectors = st.builds(lambda a, b, c: ResourceVector([a, b, c]), pos, pos, pos)
+
+
+class TestPointMetrics:
+    def test_utilization_basic(self):
+        u = utilization(ResourceVector([1, 2, 3]), ResourceVector([2, 4, 6]))
+        np.testing.assert_allclose(u, [0.5, 0.5, 0.5])
+
+    def test_utilization_zero_committed(self):
+        u = utilization(ResourceVector([1, 2, 3]), ResourceVector.zeros())
+        np.testing.assert_allclose(u, [0, 0, 0])
+
+    def test_utilization_clipped_at_one(self):
+        u = utilization(ResourceVector([3, 3, 3]), ResourceVector([2, 2, 2]))
+        np.testing.assert_allclose(u, [1, 1, 1])
+
+    def test_overall_utilization_weighted(self):
+        # CPU fully used, storage unused; weights 0.4/0.4/0.2
+        demand = ResourceVector([2, 0, 0])
+        committed = ResourceVector([2, 2, 2])
+        assert overall_utilization(demand, committed) == pytest.approx(0.4)
+
+    def test_overall_utilization_zero_denominator(self):
+        assert overall_utilization(ResourceVector([1, 1, 1]), ResourceVector.zeros()) == 0.0
+
+    def test_wastage_is_complement(self):
+        demand = ResourceVector([1, 2, 3])
+        committed = ResourceVector([2, 4, 6])
+        np.testing.assert_allclose(
+            wastage(demand, committed), 1.0 - utilization(demand, committed)
+        )
+
+    def test_overall_wastage_complement(self):
+        demand = ResourceVector([1, 1, 1])
+        committed = ResourceVector([2, 2, 2])
+        total = overall_utilization(demand, committed) + overall_wastage(
+            demand, committed
+        )
+        assert total == pytest.approx(1.0)
+
+    @given(vectors, vectors)
+    def test_utilization_in_unit_interval(self, demand, committed):
+        u = utilization(demand, committed)
+        assert np.all(u >= 0) and np.all(u <= 1)
+
+    @given(vectors, vectors)
+    def test_overall_util_and_wastage_bounded(self, demand, committed):
+        u = overall_utilization(demand, committed)
+        w = overall_wastage(demand, committed)
+        assert 0.0 <= u <= 1.0 and 0.0 <= w <= 1.0
+
+    @given(vectors, vectors)
+    def test_util_plus_wastage_is_one_when_demand_fits(self, demand, committed):
+        # The exact complement only holds when no resource is
+        # over-served (demand <= committed elementwise).
+        capped = demand.minimum(committed)
+        u = overall_utilization(capped, committed)
+        w = overall_wastage(capped, committed)
+        assert u + w == pytest.approx(1.0, abs=1e-9)
+
+    @given(vectors)
+    def test_full_demand_is_full_utilization(self, committed):
+        assert overall_utilization(committed, committed) == pytest.approx(1.0)
+        assert overall_wastage(committed, committed) == pytest.approx(0.0)
+
+
+class TestRecorder:
+    def test_empty(self):
+        rec = MetricsRecorder()
+        assert rec.n_slots == 0
+        assert rec.mean_overall_utilization() == 0.0
+        assert rec.mean_overall_wastage() == 0.0
+        assert rec.per_slot_utilization().shape == (0, 3)
+        assert rec.per_slot_overall().shape == (0,)
+
+    def test_single_slot(self):
+        rec = MetricsRecorder()
+        rec.record(ResourceVector([1, 1, 1]), ResourceVector([2, 2, 2]))
+        assert rec.mean_overall_utilization() == pytest.approx(0.5)
+
+    def test_idle_slots_excluded_from_mean(self):
+        rec = MetricsRecorder()
+        rec.record(ResourceVector.zeros(), ResourceVector.zeros())  # idle
+        rec.record(ResourceVector([1, 1, 1]), ResourceVector([2, 2, 2]))
+        assert rec.mean_overall_utilization() == pytest.approx(0.5)
+
+    def test_all_idle_run(self):
+        rec = MetricsRecorder()
+        rec.record(ResourceVector.zeros(), ResourceVector.zeros())
+        assert rec.mean_overall_utilization() == 0.0
+        assert rec.mean_utilization(ResourceKind.CPU) == 0.0
+
+    def test_per_resource_means(self):
+        rec = MetricsRecorder()
+        rec.record(ResourceVector([1, 2, 0]), ResourceVector([2, 2, 4]))
+        assert rec.mean_utilization(ResourceKind.CPU) == pytest.approx(0.5)
+        assert rec.mean_utilization(ResourceKind.MEM) == pytest.approx(1.0)
+        assert rec.mean_utilization(ResourceKind.STORAGE) == pytest.approx(0.0)
+
+    def test_utilization_by_resource_keys(self):
+        rec = MetricsRecorder()
+        rec.record(ResourceVector([1, 1, 1]), ResourceVector([2, 2, 2]))
+        by = rec.utilization_by_resource()
+        assert set(by) == set(ResourceKind)
+
+    def test_mean_over_slots(self):
+        rec = MetricsRecorder()
+        rec.record(ResourceVector([1, 1, 1]), ResourceVector([2, 2, 2]))  # 0.5
+        rec.record(ResourceVector([2, 2, 2]), ResourceVector([2, 2, 2]))  # 1.0
+        assert rec.mean_overall_utilization() == pytest.approx(0.75)
+
+    def test_wastage_is_one_minus_mean(self):
+        rec = MetricsRecorder()
+        rec.record(ResourceVector([1, 1, 1]), ResourceVector([4, 4, 4]))
+        assert rec.mean_overall_wastage() == pytest.approx(0.75)
+
+    def test_per_slot_series_shapes(self):
+        rec = MetricsRecorder()
+        for _ in range(5):
+            rec.record(ResourceVector([1, 1, 1]), ResourceVector([2, 2, 2]))
+        assert rec.per_slot_utilization().shape == (5, 3)
+        assert rec.per_slot_overall().shape == (5,)
+
+    def test_recorder_copies_inputs(self):
+        rec = MetricsRecorder()
+        demand = ResourceVector([1, 1, 1])
+        rec.record(demand, ResourceVector([2, 2, 2]))
+        # The recorder keeps its own arrays; the originals stay immutable
+        # anyway, so recorded values must equal the originals later.
+        assert rec.per_slot_utilization()[0, 0] == pytest.approx(0.5)

@@ -1,0 +1,92 @@
+"""Cluster profiles: the two testbed descriptions of Section IV."""
+
+import pytest
+
+from repro.cluster.profiles import ClusterProfile
+from repro.cluster.resources import ResourceVector
+
+
+class TestPalmetto:
+    def test_defaults(self):
+        p = ClusterProfile.palmetto()
+        assert p.name == "palmetto"
+        assert p.n_pms == 50
+        assert p.pm_capacity == ResourceVector.of(cpu=16, mem=64, storage=720)
+
+    def test_vm_carving(self):
+        p = ClusterProfile.palmetto(n_pms=10, vms_per_pm=2)
+        assert p.n_vms == 20
+        assert p.vm_capacity == ResourceVector.of(cpu=8, mem=32, storage=360)
+
+    def test_build_counts(self):
+        p = ClusterProfile.palmetto(n_pms=3, vms_per_pm=2)
+        pms, vms = p.build()
+        assert len(pms) == 3
+        assert len(vms) == 6
+
+    def test_build_vm_ids_sequential(self):
+        _, vms = ClusterProfile.palmetto(n_pms=2, vms_per_pm=2).build()
+        assert [vm.vm_id for vm in vms] == [0, 1, 2, 3]
+
+    def test_build_assigns_pm_ids(self):
+        pms, vms = ClusterProfile.palmetto(n_pms=2, vms_per_pm=2).build()
+        assert vms[0].pm_id == 0 and vms[3].pm_id == 1
+
+    def test_vms_fit_in_pm(self):
+        pms, _ = ClusterProfile.palmetto(n_pms=1, vms_per_pm=4).build()
+        assert pms[0].free_capacity() == ResourceVector.zeros()
+
+
+class TestEc2:
+    def test_defaults(self):
+        p = ClusterProfile.ec2()
+        assert p.name == "ec2"
+        assert p.n_pms == 30
+        assert p.vms_per_pm == 1
+        assert p.n_vms == 30
+
+    def test_comm_latency_above_cluster(self):
+        # The EC2 communication overhead exceeds the cluster's — the
+        # cause of Fig. 14's latencies exceeding Fig. 10's.
+        assert ClusterProfile.ec2().comm_latency_s > ClusterProfile.palmetto().comm_latency_s
+
+    def test_bandwidth_recorded(self):
+        assert ClusterProfile.ec2().bandwidth_gbps == 1.0
+
+
+class TestValidation:
+    def test_rejects_zero_pms(self):
+        with pytest.raises(ValueError):
+            ClusterProfile(
+                name="x",
+                n_pms=0,
+                pm_capacity=ResourceVector.of(cpu=1),
+                vms_per_pm=1,
+                comm_latency_s=0.0,
+            )
+
+    def test_rejects_zero_vms_per_pm(self):
+        with pytest.raises(ValueError):
+            ClusterProfile(
+                name="x",
+                n_pms=1,
+                pm_capacity=ResourceVector.of(cpu=1),
+                vms_per_pm=0,
+                comm_latency_s=0.0,
+            )
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            ClusterProfile(
+                name="x",
+                n_pms=1,
+                pm_capacity=ResourceVector.of(cpu=1),
+                vms_per_pm=1,
+                comm_latency_s=-0.1,
+            )
+
+    def test_builds_are_independent(self):
+        p = ClusterProfile.palmetto(n_pms=1, vms_per_pm=1)
+        _, vms_a = p.build()
+        _, vms_b = p.build()
+        assert vms_a[0] is not vms_b[0]

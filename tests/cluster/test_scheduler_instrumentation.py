@@ -1,0 +1,92 @@
+"""LatencyMeter and PredictionLog instrumentation."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster.scheduler import LatencyMeter, PredictionLog
+
+
+class TestLatencyMeter:
+    def test_initial_zero(self):
+        meter = LatencyMeter(comm_latency_s=0.001)
+        assert meter.total_s == 0.0
+
+    def test_measure_accumulates(self):
+        meter = LatencyMeter()
+        with meter.measure():
+            time.sleep(0.01)
+        assert meter.compute_s >= 0.009
+
+    def test_measure_multiple_blocks(self):
+        meter = LatencyMeter()
+        for _ in range(3):
+            with meter.measure():
+                pass
+        assert meter.compute_s >= 0.0
+
+    def test_comm_charges(self):
+        meter = LatencyMeter(comm_latency_s=0.002)
+        meter.charge_comm(5)
+        assert meter.comm_ops == 5
+        assert meter.comm_s == pytest.approx(0.01)
+
+    def test_negative_comm_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyMeter().charge_comm(-1)
+
+    def test_total_is_sum(self):
+        meter = LatencyMeter(comm_latency_s=0.001)
+        meter.charge_comm(10)
+        with meter.measure():
+            pass
+        assert meter.total_s == pytest.approx(meter.compute_s + 0.01)
+
+    def test_measure_propagates_exceptions_but_records(self):
+        meter = LatencyMeter()
+        with pytest.raises(RuntimeError):
+            with meter.measure():
+                raise RuntimeError("boom")
+        assert meter.compute_s >= 0.0
+
+
+class TestPredictionLog:
+    def test_empty(self):
+        log = PredictionLog()
+        assert len(log) == 0
+        assert log.error_rate(0.5) == 0.0
+        assert log.rmse() == 0.0
+
+    def test_errors_direction(self):
+        # Eq. 20: δ = actual − predicted; positive = conservative.
+        log = PredictionLog()
+        log.add(predicted=1.0, actual=1.5)
+        assert log.errors()[0] == pytest.approx(0.5)
+
+    def test_error_rate_counts_band(self):
+        log = PredictionLog()
+        log.add(1.0, 1.2)   # δ=0.2 in [0, 0.5) -> correct
+        log.add(1.0, 0.9)   # δ=-0.1 -> wrong (over-prediction)
+        log.add(1.0, 1.6)   # δ=0.6 >= ε -> wrong
+        log.add(1.0, 1.0)   # δ=0 -> correct (inclusive lower bound)
+        assert log.error_rate(0.5) == pytest.approx(0.5)
+
+    def test_error_rate_tolerance_validated(self):
+        log = PredictionLog()
+        log.add(1.0, 1.0)
+        with pytest.raises(ValueError):
+            log.error_rate(0.0)
+
+    def test_rmse(self):
+        log = PredictionLog()
+        log.add(0.0, 3.0)
+        log.add(0.0, -4.0)
+        assert log.rmse() == pytest.approx(np.sqrt((9 + 16) / 2))
+
+    def test_perfect_predictions(self):
+        log = PredictionLog()
+        for v in (0.5, 1.0, 2.0):
+            log.add(v, v)
+        assert log.error_rate(0.1) == 0.0
+        assert log.rmse() == 0.0

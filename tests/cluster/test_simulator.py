@@ -1,0 +1,166 @@
+"""End-to-end simulator behaviour with a minimal greedy scheduler."""
+
+from typing import Sequence
+
+import numpy as np
+import pytest
+
+from repro.cluster.job import Job, JobState
+from repro.cluster.machine import Placement
+from repro.cluster.profiles import ClusterProfile
+from repro.cluster.resources import ResourceVector
+from repro.cluster.scheduler import Scheduler
+from repro.cluster.simulator import ClusterSimulator, SimulationConfig
+from repro.cluster.slo import SloSpec
+from repro.trace.records import Trace
+
+from ..conftest import make_short_trace
+from .test_job import make_record
+
+
+class GreedyScheduler(Scheduler):
+    """First-fit primary-only scheduler — the simplest valid policy."""
+
+    name = "greedy"
+
+    def place_jobs(self, pending: Sequence[Job], slot: int):
+        placed = []
+        for job in pending:
+            for vm in self.vms:
+                if vm.can_reserve(job.requested):
+                    vm.add_placement(
+                        Placement(
+                            job=job,
+                            vm=vm,
+                            reserved=job.requested,
+                            opportunistic=False,
+                        )
+                    )
+                    job.start(slot, opportunistic=False)
+                    placed.append(job)
+                    break
+        return placed
+
+
+@pytest.fixture()
+def profile():
+    return ClusterProfile.palmetto(n_pms=4, vms_per_pm=2)
+
+
+def run_greedy(trace: Trace, profile, **cfg_kw):
+    sim = ClusterSimulator(profile, GreedyScheduler(), SimulationConfig(**cfg_kw))
+    return sim.run(trace)
+
+
+class TestBasicRun:
+    def test_all_jobs_complete(self, profile):
+        trace = make_short_trace(n_jobs=20, seed=5)
+        result = run_greedy(trace, profile)
+        assert result.n_submitted == len(trace)
+        assert result.n_completed + result.n_rejected == result.n_submitted
+        assert result.all_done
+
+    def test_jobs_complete_in_nominal_time_when_uncontended(self, profile):
+        trace = make_short_trace(n_jobs=5, seed=6)
+        result = run_greedy(trace, profile)
+        for job in result.jobs:
+            if job.state is JobState.COMPLETED and job.start_slot == job.submit_slot:
+                assert job.response_slots() <= job.nominal_slots + 1
+
+    def test_metrics_recorded_every_slot(self, profile):
+        trace = make_short_trace(n_jobs=10, seed=7)
+        result = run_greedy(trace, profile)
+        assert result.metrics.n_slots == result.n_slots
+
+    def test_utilization_bounded(self, profile):
+        trace = make_short_trace(n_jobs=20, seed=8)
+        result = run_greedy(trace, profile)
+        util = result.summary()["overall_utilization"]
+        assert 0.0 < util <= 1.0
+
+    def test_summary_keys(self, profile):
+        result = run_greedy(make_short_trace(n_jobs=5, seed=9), profile)
+        summary = result.summary()
+        for key in (
+            "overall_utilization",
+            "overall_wastage",
+            "slo_violation_rate",
+            "allocation_latency_s",
+            "utilization_cpu",
+            "utilization_mem",
+            "utilization_storage",
+        ):
+            assert key in summary
+
+    def test_deterministic_given_seeded_trace(self, profile):
+        trace = make_short_trace(n_jobs=15, seed=10)
+        a = run_greedy(trace, ClusterProfile.palmetto(n_pms=4, vms_per_pm=2))
+        b = run_greedy(trace, ClusterProfile.palmetto(n_pms=4, vms_per_pm=2))
+        sa, sb = a.summary(), b.summary()
+        # Wall-clock latency is inherently non-deterministic; everything
+        # else must match bit-for-bit.
+        sa.pop("allocation_latency_s"), sb.pop("allocation_latency_s")
+        assert sa == sb
+
+
+class TestAdmission:
+    def test_oversized_job_rejected(self, profile):
+        record = make_record(request=(999.0, 1.0, 1.0), duration_s=30.0)
+        result = run_greedy(Trace([record]), profile)
+        assert result.n_rejected == 1
+        assert result.n_completed == 0
+
+    def test_max_vm_capacity(self, profile):
+        sim = ClusterSimulator(profile, GreedyScheduler())
+        assert sim.max_vm_capacity() == profile.vm_capacity
+
+
+class TestQueueing:
+    def test_saturated_cluster_queues_jobs(self):
+        # One tiny VM; several concurrent jobs must wait their turn.
+        tiny = ClusterProfile(
+            name="tiny",
+            n_pms=1,
+            pm_capacity=ResourceVector.of(cpu=4, mem=16, storage=100),
+            vms_per_pm=1,
+            comm_latency_s=0.0,
+        )
+        records = [
+            make_record(request=(3, 4, 10), duration_s=50.0, task_id=i)
+            for i in range(4)
+        ]
+        result = run_greedy(Trace(records), tiny)
+        waits = [j.start_slot - j.submit_slot for j in result.jobs]
+        assert max(waits) > 0
+        assert result.n_completed == 4
+
+    def test_queueing_creates_slo_violations(self):
+        tiny = ClusterProfile(
+            name="tiny",
+            n_pms=1,
+            pm_capacity=ResourceVector.of(cpu=4, mem=16, storage=100),
+            vms_per_pm=1,
+            comm_latency_s=0.0,
+        )
+        records = [
+            make_record(request=(3, 4, 10), duration_s=50.0, task_id=i)
+            for i in range(6)
+        ]
+        sim = ClusterSimulator(
+            tiny, GreedyScheduler(), SimulationConfig(slo=SloSpec(slack_factor=1.1))
+        )
+        result = sim.run(Trace(records))
+        assert result.slo.violation_rate > 0.0
+
+
+class TestStopConditions:
+    def test_max_slots_cap(self, profile):
+        trace = make_short_trace(n_jobs=10, seed=11)
+        result = run_greedy(trace, profile, max_slots=3)
+        assert result.n_slots == 3
+
+    def test_no_drain_stops_at_last_arrival(self, profile):
+        trace = make_short_trace(n_jobs=10, seed=12)
+        drained = run_greedy(trace, profile, drain=True)
+        cut = run_greedy(trace, profile, drain=False)
+        assert cut.n_slots <= drained.n_slots

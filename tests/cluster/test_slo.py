@@ -1,0 +1,91 @@
+"""SLO specification and violation tracking."""
+
+import pytest
+
+from repro.cluster.job import Job
+from repro.cluster.slo import SloSpec, SloTracker
+
+from .test_job import make_record
+
+
+def finished_job(nominal_slots: int, response_slots: int, task_id=0) -> Job:
+    job = Job(
+        record=make_record(duration_s=nominal_slots * 10.0, task_id=task_id),
+        submit_slot=0,
+    )
+    job.start(0, opportunistic=False)
+    # March to completion at the rate that yields the target response.
+    rate = nominal_slots / response_slots
+    slot = 0
+    from repro.cluster.job import JobState
+
+    while job.state is JobState.RUNNING:
+        job.advance(rate, slot)
+        slot += 1
+    return job
+
+
+class TestSloSpec:
+    def test_rejects_sub_one_slack(self):
+        with pytest.raises(ValueError):
+            SloSpec(slack_factor=0.9)
+
+    def test_threshold_rounding_up(self):
+        spec = SloSpec(slack_factor=1.2)
+        job = finished_job(nominal_slots=5, response_slots=5)
+        assert spec.threshold_slots(job) == 6  # ceil(1.2*5)
+
+    def test_threshold_exact_multiple(self):
+        spec = SloSpec(slack_factor=1.5)
+        job = finished_job(nominal_slots=4, response_slots=4)
+        assert spec.threshold_slots(job) == 6
+
+    def test_threshold_at_least_one(self):
+        spec = SloSpec(slack_factor=1.0)
+        job = finished_job(nominal_slots=1, response_slots=1)
+        assert spec.threshold_slots(job) >= 1
+
+    def test_on_time_not_violated(self):
+        spec = SloSpec(slack_factor=1.2)
+        assert not spec.is_violated(finished_job(5, 6))
+
+    def test_late_violated(self):
+        spec = SloSpec(slack_factor=1.2)
+        assert spec.is_violated(finished_job(5, 7))
+
+    def test_incomplete_job_rejected(self):
+        job = Job(record=make_record(duration_s=60.0), submit_slot=0)
+        with pytest.raises(ValueError):
+            SloSpec().is_violated(job)
+
+
+class TestSloTracker:
+    def test_empty_tracker(self):
+        assert SloTracker().violation_rate == 0.0
+
+    def test_record_counts(self):
+        tracker = SloTracker(spec=SloSpec(slack_factor=1.2))
+        assert tracker.record(finished_job(5, 7, task_id=1)) is True
+        assert tracker.record(finished_job(5, 5, task_id=2)) is False
+        assert tracker.completed == 2
+        assert tracker.violated == 1
+        assert tracker.violation_rate == pytest.approx(0.5)
+
+    def test_outcomes_recorded(self):
+        tracker = SloTracker(spec=SloSpec(slack_factor=1.2))
+        job = finished_job(5, 7, task_id=9)
+        tracker.record(job)
+        response, threshold, bad = tracker.outcomes[9]
+        assert response == 7 and threshold == 6 and bad
+
+    def test_incomplete_rejected(self):
+        tracker = SloTracker()
+        job = Job(record=make_record(duration_s=60.0), submit_slot=0)
+        with pytest.raises(ValueError):
+            tracker.record(job)
+
+    def test_rate_all_good(self):
+        tracker = SloTracker(spec=SloSpec(slack_factor=2.0))
+        for i in range(5):
+            tracker.record(finished_job(5, 6, task_id=i))
+        assert tracker.violation_rate == 0.0

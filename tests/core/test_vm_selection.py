@@ -1,0 +1,120 @@
+"""Most-matched VM selection — verified against the paper's Fig. 5 numbers."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import VirtualMachine
+from repro.cluster.resources import ResourceVector
+from repro.core.vm_selection import (
+    select_most_matched,
+    select_random_feasible,
+    unused_volume,
+)
+
+#: The worked example of Fig. 5: C' = <25, 2, 30> and the four VMs'
+#: unlocked predicted unused amounts.
+FIG5_REFERENCE = ResourceVector([25, 2, 30])
+FIG5_UNUSED = {
+    1: ResourceVector([5, 0, 20]),
+    2: ResourceVector([10, 1, 10]),
+    3: ResourceVector([20, 2, 30]),
+    4: ResourceVector([10, 1, 8.5]),
+}
+#: The volumes the paper computes for them (Section III-B).
+FIG5_VOLUMES = {1: 0.867, 2: 1.233, 3: 2.8, 4: 1.183}
+
+
+def fig5_candidates():
+    return [
+        (VirtualMachine(vm_id, ResourceVector([25, 2, 30])), unused)
+        for vm_id, unused in FIG5_UNUSED.items()
+    ]
+
+
+class TestUnusedVolume:
+    @pytest.mark.parametrize("vm_id", [1, 2, 3, 4])
+    def test_fig5_volumes(self, vm_id):
+        volume = unused_volume(FIG5_UNUSED[vm_id], FIG5_REFERENCE)
+        assert volume == pytest.approx(FIG5_VOLUMES[vm_id], abs=1e-3)
+
+    def test_zero_reference_component_ignored(self):
+        volume = unused_volume(ResourceVector([5, 3, 0]), ResourceVector([10, 0, 10]))
+        assert volume == pytest.approx(0.5)
+
+    def test_zero_vector(self):
+        assert unused_volume(ResourceVector.zeros(), FIG5_REFERENCE) == 0.0
+
+
+class TestMostMatched:
+    def test_fig5_first_entity_goes_to_vm2(self):
+        # Packed entity (job 3, job 4): VM1 and VM4 infeasible; VM2 wins
+        # over VM3 because 1.233 < 2.8.
+        demand = ResourceVector([10, 1, 10])
+        chosen = select_most_matched(demand, fig5_candidates(), FIG5_REFERENCE)
+        assert chosen.vm_id == 2
+
+    def test_fig5_second_entity_goes_to_vm4(self):
+        # Packed entity (job 5, job 6): VM1 infeasible; VM4's 1.183 is
+        # the smallest remaining volume.
+        demand = ResourceVector([8, 1, 8])
+        chosen = select_most_matched(demand, fig5_candidates(), FIG5_REFERENCE)
+        assert chosen.vm_id == 4
+
+    def test_none_feasible(self):
+        demand = ResourceVector([100, 100, 100])
+        assert select_most_matched(demand, fig5_candidates(), FIG5_REFERENCE) is None
+
+    def test_empty_candidates(self):
+        assert select_most_matched(ResourceVector([1, 1, 1]), [], FIG5_REFERENCE) is None
+
+    def test_tie_breaks_to_lower_id(self):
+        vm_a = VirtualMachine(3, ResourceVector([10, 10, 10]))
+        vm_b = VirtualMachine(1, ResourceVector([10, 10, 10]))
+        same = ResourceVector([5, 5, 5])
+        chosen = select_most_matched(
+            ResourceVector([1, 1, 1]),
+            [(vm_a, same), (vm_b, same)],
+            ResourceVector([10, 10, 10]),
+        )
+        assert chosen.vm_id == 1
+
+    def test_exact_fit_allowed(self):
+        vm = VirtualMachine(0, ResourceVector([10, 10, 10]))
+        available = ResourceVector([2, 2, 2])
+        chosen = select_most_matched(
+            ResourceVector([2, 2, 2]), [(vm, available)], FIG5_REFERENCE
+        )
+        assert chosen is vm
+
+
+class TestRandomFeasible:
+    def test_uniform_over_feasible(self):
+        rng = np.random.default_rng(0)
+        vms = [VirtualMachine(i, ResourceVector([10, 10, 10])) for i in range(3)]
+        candidates = [
+            (vms[0], ResourceVector([5, 5, 5])),
+            (vms[1], ResourceVector([0, 0, 0])),  # infeasible
+            (vms[2], ResourceVector([5, 5, 5])),
+        ]
+        demand = ResourceVector([1, 1, 1])
+        picks = {
+            select_random_feasible(demand, candidates, rng).vm_id
+            for _ in range(50)
+        }
+        assert picks == {0, 2}
+
+    def test_none_feasible(self):
+        rng = np.random.default_rng(1)
+        vm = VirtualMachine(0, ResourceVector([10, 10, 10]))
+        result = select_random_feasible(
+            ResourceVector([5, 5, 5]), [(vm, ResourceVector([1, 1, 1]))], rng
+        )
+        assert result is None
+
+    def test_deterministic_given_rng_state(self):
+        vms = [VirtualMachine(i, ResourceVector([10, 10, 10])) for i in range(5)]
+        candidates = [(vm, ResourceVector([5, 5, 5])) for vm in vms]
+        demand = ResourceVector([1, 1, 1])
+        a = select_random_feasible(demand, candidates, np.random.default_rng(7))
+        b = select_random_feasible(demand, candidates, np.random.default_rng(7))
+        assert a.vm_id == b.vm_id

@@ -1,0 +1,132 @@
+"""Fast smoke tests of the figure functions, ablations, mixed runs and CLI.
+
+These use tiny job counts / level sets; the full-size runs live in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments.ablations import run_ablations
+from repro.experiments.figures import (
+    FigureResult,
+    fig06_prediction_error,
+    fig08_utilization_vs_slo,
+    fig09_slo_vs_confidence,
+    fig10_overhead,
+)
+from repro.experiments.mixed import mixed_scenario, run_mixed_workload
+from repro.experiments.runner import METHOD_ORDER, PredictorCache
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return PredictorCache()
+
+
+class TestFigureResult:
+    def test_add_and_table(self):
+        result = FigureResult(
+            figure_id="x", title="t", x_label="n", x_values=[1, 2]
+        )
+        for m in METHOD_ORDER:
+            result.add(m, 0.1)
+            result.add(m, 0.2)
+        table = result.to_table()
+        assert "CORP" in table and "0.2000" in table
+
+    def test_shape_holds_wiring(self):
+        result = FigureResult(
+            figure_id="x", title="t", x_label="n", x_values=[1],
+            expected_order=("a", "b"),
+        )
+        result.series = {"a": [1.0], "b": [2.0]}
+        assert result.shape_holds()
+
+
+class TestFigureSmoke:
+    def test_fig06_small(self, cache):
+        result = fig06_prediction_error(job_counts=(20, 40), cache=cache)
+        assert set(result.series) == set(METHOD_ORDER)
+        assert all(len(v) == 2 for v in result.series.values())
+        assert all(0.0 <= x <= 1.0 for v in result.series.values() for x in v)
+
+    def test_fig08_small(self, cache):
+        curves = fig08_utilization_vs_slo(n_jobs=40, levels=(0.0, 1.0), cache=cache)
+        assert set(curves) == set(METHOD_ORDER)
+        for points in curves.values():
+            assert len(points) == 2
+            for slo, util in points:
+                assert 0.0 <= slo <= 1.0 and 0.0 <= util <= 1.0
+
+    def test_fig09_small(self, cache):
+        result = fig09_slo_vs_confidence(n_jobs=40, levels=(0.5, 0.9), cache=cache)
+        assert all(len(v) == 2 for v in result.series.values())
+
+    def test_fig10_small(self, cache):
+        latencies = fig10_overhead(n_jobs=40, cache=cache)
+        assert set(latencies) == set(METHOD_ORDER)
+        assert all(v > 0 for v in latencies.values())
+
+    def test_unknown_testbed_rejected(self, cache):
+        with pytest.raises(ValueError):
+            fig10_overhead(testbed="mars", cache=cache)
+
+
+class TestAblationsSmoke:
+    def test_subset_of_variants(self, cache):
+        results = run_ablations(
+            n_jobs=30,
+            cache=cache,
+            variants={"full": {}, "A3-no-ci": {"use_confidence_interval": False}},
+        )
+        assert set(results) == {"full", "A3-no-ci"}
+        for s in results.values():
+            assert "riders" in s
+
+
+class TestMixedSmoke:
+    def test_scenario_builder(self):
+        scenario = mixed_scenario(50, short_fraction=0.6)
+        assert scenario.trace_config.short_fraction == 0.6
+        assert scenario.trace_config.long_duration_range_s == (900.0, 1800.0)
+
+    def test_run_two_methods(self, cache):
+        results = run_mixed_workload(
+            n_jobs=25, cache=cache, methods=("CORP", "DRA")
+        )
+        assert set(results) == {"CORP", "DRA"}
+        assert all(s["n_long"] >= 0 for s in results.values())
+
+    def test_unknown_method_rejected(self, cache):
+        with pytest.raises(ValueError):
+            run_mixed_workload(n_jobs=10, cache=cache, methods=("Borg",))
+
+
+class TestCli:
+    def test_parser_commands(self):
+        from repro.__main__ import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["compare", "--jobs", "10"])
+        assert args.jobs == 10
+        args = parser.parse_args(["figure", "fig09", "--testbed", "ec2"])
+        assert args.name == "fig09"
+
+    def test_compare_command_runs(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["compare", "--jobs", "15", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "CORP" in out and "utilization" in out
+
+    def test_figure_command_runs(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["figure", "fig10"]) == 0
+        assert "allocation latency" in capsys.readouterr().out
+
+    def test_invalid_figure_rejected(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])

@@ -1,0 +1,60 @@
+"""Dependency-free SVG rendering."""
+
+import pytest
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.plot import render_line_chart, save_figure_svg
+
+
+def sample_series():
+    return {"CORP": [0.4, 0.5, 0.6], "DRA": [0.2, 0.25, 0.3]}
+
+
+class TestRenderLineChart:
+    def test_valid_svg_document(self):
+        svg = render_line_chart([50, 100, 150], sample_series(), title="T")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<polyline") == 2
+
+    def test_legend_and_labels(self):
+        svg = render_line_chart(
+            [1, 2, 3], sample_series(), title="My & Title",
+            x_label="jobs", y_label="util",
+        )
+        assert "CORP" in svg and "DRA" in svg
+        assert "My &amp; Title" in svg  # escaped
+        assert "jobs" in svg and "util" in svg
+
+    def test_point_markers(self):
+        svg = render_line_chart([1, 2, 3], sample_series())
+        assert svg.count("<circle") == 6
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            render_line_chart([1, 2], {})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            render_line_chart([1, 2, 3], {"a": [1.0, 2.0]})
+
+    def test_constant_series_does_not_divide_by_zero(self):
+        svg = render_line_chart([5], {"a": [0.0]})
+        assert "<svg" in svg
+
+    def test_single_point(self):
+        svg = render_line_chart([10], {"a": [0.3], "b": [0.4]})
+        assert svg.count("<circle") == 2
+
+
+class TestSaveFigureSvg:
+    def test_writes_file(self, tmp_path):
+        result = FigureResult(
+            figure_id="f", title="Fig", x_label="n", x_values=[1, 2]
+        )
+        result.series = sample_series()
+        result.x_values = [1, 2, 3]
+        path = save_figure_svg(result, tmp_path / "fig.svg", y_label="rate")
+        text = path.read_text()
+        assert text.startswith("<svg")
+        assert "Fig" in text

@@ -1,0 +1,96 @@
+"""Report tables, shape checks and sweep utilities."""
+
+import pytest
+
+from repro.experiments.report import format_series_table, format_table, shape_check
+from repro.experiments.sweep import SweepResult, average_summaries, sweep
+
+
+class TestFormatTable:
+    def test_alignment_and_rows(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "2.5000" in text
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_empty_rows(self):
+        text = format_table(["x", "y"], [])
+        assert "x" in text and "y" in text
+
+    def test_custom_float_format(self):
+        text = format_table(["x"], [[0.123456]], float_fmt="{:.2f}")
+        assert "0.12" in text
+
+
+class TestSeriesTable:
+    def test_layout(self):
+        text = format_series_table(
+            "n", [50, 100], {"CORP": [0.5, 0.6], "DRA": [0.2, 0.3]}
+        )
+        lines = text.splitlines()
+        assert lines[0].split() == ["n", "CORP", "DRA"]
+        assert "0.6000" in text
+
+
+class TestShapeCheck:
+    def test_ascending_ok(self):
+        series = {"a": [1, 1, 1], "b": [2, 2, 2], "c": [3, 3, 3]}
+        assert shape_check(series, ["a", "b", "c"], direction="ascending")
+
+    def test_ascending_violated(self):
+        series = {"a": [5, 5, 5], "b": [2, 2, 2]}
+        assert not shape_check(series, ["a", "b"], direction="ascending")
+
+    def test_descending(self):
+        series = {"a": [3, 3], "b": [1, 1]}
+        assert shape_check(series, ["a", "b"], direction="descending")
+
+    def test_fraction_tolerance(self):
+        series = {"a": [1, 9, 1, 1, 1], "b": [2, 2, 2, 2, 2]}
+        assert shape_check(series, ["a", "b"], min_points_fraction=0.6)
+        assert not shape_check(series, ["a", "b"], min_points_fraction=0.9)
+
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            shape_check({"a": [1]}, ["a"], direction="sideways")
+
+
+class TestSweep:
+    def test_sweep_result_accumulates(self):
+        result = SweepResult(x_label="x", x_values=[1, 2], metric="m")
+        result.add("a", 0.1)
+        result.add("a", 0.2)
+        assert result.series()["a"] == [0.1, 0.2]
+
+    def test_sweep_runs_callable(self):
+        class FakeResult:
+            def __init__(self, v):
+                self.v = v
+
+            def summary(self):
+                return {"metric": self.v}
+
+        out = sweep(
+            "x", [1, 2, 3], "metric",
+            lambda x: {"m1": FakeResult(x), "m2": FakeResult(2 * x)},
+        )
+        assert out.values["m1"] == [1, 2, 3]
+        assert out.values["m2"] == [2, 4, 6]
+
+    def test_average_summaries(self):
+        class FakeResult:
+            def __init__(self, v):
+                self.v = v
+
+            def summary(self):
+                return {"k": self.v}
+
+        assert average_summaries([FakeResult(1.0), FakeResult(3.0)], "k") == 2.0
+
+    def test_average_empty(self):
+        with pytest.raises(ValueError):
+            average_summaries([], "k")

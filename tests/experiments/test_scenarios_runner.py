@@ -1,0 +1,97 @@
+"""Scenario builders and the multi-method runner (fast variants)."""
+
+import pytest
+
+from repro.cluster.profiles import ClusterProfile
+from repro.experiments.runner import (
+    METHOD_ORDER,
+    PredictorCache,
+    default_schedulers,
+    run_methods,
+)
+from repro.experiments.scenarios import JOB_COUNTS, cluster_scenario, ec2_scenario
+from repro.core.config import CorpConfig
+
+
+@pytest.fixture(scope="module")
+def small_scenario():
+    return cluster_scenario(
+        n_jobs=20, seed=5, profile=ClusterProfile.palmetto(n_pms=4, vms_per_pm=2)
+    )
+
+
+class TestScenarios:
+    def test_job_counts_match_paper(self):
+        assert JOB_COUNTS == (50, 100, 150, 200, 250, 300)
+
+    def test_cluster_scenario_defaults(self):
+        sc = cluster_scenario(100)
+        assert sc.n_jobs == 100
+        assert sc.profile.name == "palmetto"
+        assert "cluster" in sc.name
+
+    def test_ec2_scenario_defaults(self):
+        sc = ec2_scenario(100)
+        assert sc.profile.name == "ec2"
+        assert sc.profile.n_pms == 30
+
+    def test_evaluation_trace_short_only(self, small_scenario):
+        trace = small_scenario.evaluation_trace()
+        assert len(trace) == 20
+        assert trace.short_fraction() == 1.0
+        assert all(r.sample_period_s == 10.0 for r in trace)
+
+    def test_subsampling_nested(self):
+        # Smaller job counts draw from the same master population.
+        profile = ClusterProfile.palmetto(n_pms=4, vms_per_pm=2)
+        small = cluster_scenario(50, seed=5, profile=profile).evaluation_trace()
+        big = cluster_scenario(300, seed=5, profile=profile).evaluation_trace()
+        big_ids = {r.task_id for r in big}
+        assert all(r.task_id in big_ids for r in small)
+
+    def test_history_trace_distinct_from_eval(self, small_scenario):
+        history = small_scenario.history_trace()
+        evaluation = small_scenario.evaluation_trace()
+        history_ids = {(r.task_id, r.submit_time_s) for r in history}
+        eval_ids = {(r.task_id, r.submit_time_s) for r in evaluation}
+        assert history_ids != eval_ids
+
+
+class TestRunner:
+    def test_default_schedulers_cover_all_methods(self):
+        factories = default_schedulers()
+        assert set(factories) == set(METHOD_ORDER)
+
+    def test_predictor_cache_reuses_fit(self, small_scenario):
+        cache = PredictorCache()
+        history = small_scenario.history_trace()
+        cfg = CorpConfig(n_hidden_layers=1, units_per_layer=8, train_max_epochs=3)
+        a = cache.get(cfg, history)
+        b = cache.get(cfg, history)
+        assert a is b
+
+    def test_cache_distinguishes_configs(self, small_scenario):
+        cache = PredictorCache()
+        history = small_scenario.history_trace()
+        a = cache.get(
+            CorpConfig(n_hidden_layers=1, units_per_layer=8, train_max_epochs=3),
+            history,
+        )
+        b = cache.get(
+            CorpConfig(n_hidden_layers=1, units_per_layer=8, train_max_epochs=3,
+                       train_quantile=0.3),
+            history,
+        )
+        assert a is not b
+
+    def test_run_methods_all_four(self, small_scenario):
+        cache = PredictorCache()
+        cfg = CorpConfig(n_hidden_layers=1, units_per_layer=8, train_max_epochs=3)
+        history = small_scenario.history_trace()
+        factories = default_schedulers(
+            corp_config=cfg, history=history, cache=cache
+        )
+        results = run_methods(small_scenario, factories, history=history)
+        assert set(results) == set(METHOD_ORDER)
+        for result in results.values():
+            assert result.all_done

@@ -1,0 +1,18 @@
+"""Table II regeneration module."""
+
+from repro.experiments.table2 import render_table2, table2_rows
+
+
+class TestTable2:
+    def test_all_paper_parameters_present(self):
+        params = {r[0] for r in table2_rows()}
+        assert {"N_p", "N_v", "|J|", "l", "P_th", "h", "N_n", "H",
+                "theta", "eta"} <= params
+
+    def test_rows_have_four_columns(self):
+        assert all(len(r) == 4 for r in table2_rows())
+
+    def test_render_contains_title_and_params(self):
+        text = render_table2()
+        assert "Table II" in text
+        assert "P_th" in text and "0.95" in text

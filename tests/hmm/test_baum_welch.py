@@ -1,0 +1,107 @@
+"""Baum-Welch re-estimation: likelihood ascent and parameter recovery."""
+
+import numpy as np
+import pytest
+
+from repro.hmm.baum_welch import BaumWelchConfig, baum_welch
+from repro.hmm.forward_backward import sequence_log_likelihood
+from repro.hmm.model import HiddenMarkovModel, default_fluctuation_model
+
+
+def sample_sequence(model, length, rng):
+    state = rng.choice(model.n_states, p=model.initial)
+    obs = np.empty(length, dtype=np.int64)
+    for t in range(length):
+        obs[t] = rng.choice(model.n_symbols, p=model.emission[state])
+        state = rng.choice(model.n_states, p=model.transition[state])
+    return obs
+
+
+@pytest.fixture()
+def sequences():
+    rng = np.random.default_rng(0)
+    truth = default_fluctuation_model()
+    return [sample_sequence(truth, 120, rng) for _ in range(6)]
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BaumWelchConfig(max_iterations=0)
+        with pytest.raises(ValueError):
+            BaumWelchConfig(tolerance=0.0)
+        with pytest.raises(ValueError):
+            BaumWelchConfig(smoothing=-1.0)
+
+
+class TestEm:
+    def test_log_likelihood_non_decreasing(self, sequences):
+        start = default_fluctuation_model(seed=9)
+        result = baum_welch(start, sequences, BaumWelchConfig(max_iterations=15))
+        lls = result.log_likelihoods
+        assert all(b >= a - 1e-6 for a, b in zip(lls, lls[1:]))
+
+    def test_improves_over_start(self, sequences):
+        start = default_fluctuation_model(seed=9)
+        before = sum(sequence_log_likelihood(start, s) for s in sequences)
+        result = baum_welch(start, sequences, BaumWelchConfig(max_iterations=20))
+        after = sum(sequence_log_likelihood(result.model, s) for s in sequences)
+        assert after > before
+
+    def test_result_is_valid_model(self, sequences):
+        result = baum_welch(default_fluctuation_model(seed=1), sequences)
+        m = result.model
+        np.testing.assert_allclose(m.transition.sum(axis=1), 1.0, atol=1e-9)
+        np.testing.assert_allclose(m.emission.sum(axis=1), 1.0, atol=1e-9)
+        np.testing.assert_allclose(m.initial.sum(), 1.0, atol=1e-9)
+
+    def test_converged_flag(self, sequences):
+        result = baum_welch(
+            default_fluctuation_model(seed=2),
+            sequences,
+            BaumWelchConfig(max_iterations=200, tolerance=1e-2),
+        )
+        assert result.converged
+        assert result.n_iterations < 200
+
+    def test_input_model_not_mutated(self, sequences):
+        start = default_fluctuation_model(seed=3)
+        snapshot = start.transition.copy()
+        baum_welch(start, sequences, BaumWelchConfig(max_iterations=3))
+        np.testing.assert_array_equal(start.transition, snapshot)
+
+    def test_single_array_input_accepted(self):
+        rng = np.random.default_rng(4)
+        seq = sample_sequence(default_fluctuation_model(), 80, rng)
+        result = baum_welch(default_fluctuation_model(seed=5), seq,
+                            BaumWelchConfig(max_iterations=5))
+        assert result.n_iterations >= 1
+
+    def test_empty_sequences_rejected(self):
+        with pytest.raises(ValueError):
+            baum_welch(default_fluctuation_model(), [])
+
+    def test_smoothing_keeps_probabilities_positive(self):
+        # Fitting on a sequence that never shows symbol 2 must not zero
+        # its probability out (Viterbi on unseen symbols stays defined).
+        obs = np.zeros(60, dtype=np.int64)
+        result = baum_welch(
+            default_fluctuation_model(seed=6), [obs],
+            BaumWelchConfig(max_iterations=10, smoothing=1e-6),
+        )
+        assert np.all(result.model.emission > 0)
+
+    def test_recovers_biased_emissions(self):
+        # Ground truth with near-deterministic emissions: EM should move
+        # the emission matrix strongly toward diagonal dominance.
+        truth = HiddenMarkovModel(
+            np.array([[0.9, 0.05, 0.05], [0.05, 0.9, 0.05], [0.05, 0.05, 0.9]]),
+            np.array([[0.95, 0.025, 0.025], [0.025, 0.95, 0.025], [0.025, 0.025, 0.95]]),
+            np.full(3, 1 / 3),
+        )
+        rng = np.random.default_rng(7)
+        seqs = [sample_sequence(truth, 200, rng) for _ in range(5)]
+        result = baum_welch(default_fluctuation_model(seed=8), seqs,
+                            BaumWelchConfig(max_iterations=40))
+        diag = np.diag(result.model.emission)
+        assert np.all(diag > 0.6)

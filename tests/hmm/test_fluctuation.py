@@ -1,0 +1,130 @@
+"""Fluctuation predictor: fit, next-symbol prediction (Eq. 17), corrections."""
+
+import numpy as np
+import pytest
+
+from repro.hmm.discretize import CENTER, PEAK, VALLEY
+from repro.hmm.fluctuation import FluctuationPredictor
+
+
+def regime_series(rng, n=240, low=0.2, high=0.8, dwell=12):
+    """Alternating low/high regimes with small noise."""
+    out = np.empty(n)
+    level = low
+    for start in range(0, n, dwell):
+        out[start : start + dwell] = level + rng.normal(0, 0.01, size=min(dwell, n - start))
+        level = high if level == low else low
+    return np.clip(out, 0, 1)
+
+
+@pytest.fixture()
+def fitted():
+    rng = np.random.default_rng(0)
+    histories = [regime_series(rng) for _ in range(6)]
+    return FluctuationPredictor(window=6, seed=1).fit(histories)
+
+
+class TestConstruction:
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            FluctuationPredictor(window=0)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            FluctuationPredictor(mode="weird")
+
+    def test_unfitted_raises(self):
+        fp = FluctuationPredictor()
+        with pytest.raises(RuntimeError):
+            fp.predict_next_symbol(np.zeros(12))
+        with pytest.raises(RuntimeError):
+            fp.correction(PEAK)
+        with pytest.raises(RuntimeError):
+            fp.next_symbol_distribution(0)
+
+
+class TestFit:
+    def test_fit_returns_self(self):
+        rng = np.random.default_rng(1)
+        fp = FluctuationPredictor(window=6)
+        assert fp.fit([regime_series(rng)]) is fp
+        assert fp.fitted
+
+    def test_empty_histories_rejected(self):
+        with pytest.raises(ValueError):
+            FluctuationPredictor().fit([])
+        with pytest.raises(ValueError):
+            FluctuationPredictor().fit([np.array([])])
+
+    def test_correction_scale_from_window_amplitudes(self, fitted):
+        # Within-regime windows move by ~0.0x; regime-boundary windows by
+        # ~0.6 — the median amplitude must be modest, not the global range.
+        assert 0.0 <= fitted.correction_scale < 0.4
+
+    def test_fit_on_short_series_is_graceful(self):
+        fp = FluctuationPredictor(window=6)
+        fp.fit([np.full(4, 0.5)])  # shorter than one window
+        assert fp.bands is not None
+
+
+class TestPrediction:
+    def test_symbol_in_range(self, fitted):
+        rng = np.random.default_rng(2)
+        symbol = fitted.predict_next_symbol(regime_series(rng)[-36:])
+        assert symbol in (PEAK, CENTER, VALLEY)
+
+    def test_empty_recent_returns_center(self, fitted):
+        assert fitted.predict_next_symbol(np.zeros(2)) == CENTER
+
+    def test_distribution_normalized(self, fitted):
+        for state in range(3):
+            dist = fitted.next_symbol_distribution(state)
+            assert dist.shape == (3,)
+            assert dist.sum() == pytest.approx(1.0)
+
+    def test_distribution_state_out_of_range(self, fitted):
+        with pytest.raises(ValueError):
+            fitted.next_symbol_distribution(7)
+
+    def test_equation_17_by_hand(self, fitted):
+        # E_{P_{T+1}}(k) = Σ_j A[q, j] B[j, k]
+        model = fitted.model
+        for state in range(3):
+            expected = model.transition[state] @ model.emission
+            np.testing.assert_allclose(
+                fitted.next_symbol_distribution(state), expected
+            )
+
+
+class TestCorrection:
+    def test_signs(self, fitted):
+        assert fitted.correction(PEAK) >= 0.0
+        assert fitted.correction(VALLEY) <= 0.0
+        assert fitted.correction(CENTER) == 0.0
+
+    def test_symmetric_magnitude(self, fitted):
+        assert fitted.correction(PEAK) == pytest.approx(-fitted.correction(VALLEY))
+
+    def test_unknown_symbol(self, fitted):
+        with pytest.raises(ValueError):
+            fitted.correction(9)
+
+
+class TestModes:
+    def test_range_mode_fits(self):
+        rng = np.random.default_rng(3)
+        fp = FluctuationPredictor(window=6, mode="range").fit(
+            [regime_series(rng) for _ in range(3)]
+        )
+        assert fp.fitted
+        symbol = fp.predict_next_symbol(regime_series(rng)[-24:])
+        assert symbol in (PEAK, CENTER, VALLEY)
+
+    def test_level_mode_tracks_level(self):
+        # Long regime dwells (6 windows) make persistence the dominant
+        # learned dynamic, so a run of high levels predicts non-valley.
+        rng = np.random.default_rng(4)
+        histories = [regime_series(rng, dwell=36) for _ in range(6)]
+        fp = FluctuationPredictor(window=6, mode="level").fit(histories)
+        high = np.full(24, 0.8)
+        assert fp.predict_next_symbol(high) != VALLEY

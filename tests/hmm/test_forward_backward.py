@@ -1,0 +1,100 @@
+"""Scaled forward-backward vs brute-force enumeration."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.hmm.forward_backward import forward_backward, sequence_log_likelihood
+from repro.hmm.model import HiddenMarkovModel, default_fluctuation_model
+
+
+def brute_force_likelihood(model, obs):
+    """Sum P(Q, O) over every state path (exponential; tiny inputs only)."""
+    total = 0.0
+    H = model.n_states
+    for path in itertools.product(range(H), repeat=len(obs)):
+        p = model.initial[path[0]] * model.emission[path[0], obs[0]]
+        for t in range(1, len(obs)):
+            p *= model.transition[path[t - 1], path[t]]
+            p *= model.emission[path[t], obs[t]]
+        total += p
+    return total
+
+
+def brute_force_gamma(model, obs):
+    """Posterior P(q_t = i | O) via path enumeration."""
+    H, T = model.n_states, len(obs)
+    joint = np.zeros((T, H))
+    for path in itertools.product(range(H), repeat=T):
+        p = model.initial[path[0]] * model.emission[path[0], obs[0]]
+        for t in range(1, T):
+            p *= model.transition[path[t - 1], path[t]]
+            p *= model.emission[path[t], obs[t]]
+        for t, s in enumerate(path):
+            joint[t, s] += p
+    return joint / joint.sum(axis=1, keepdims=True)
+
+
+@pytest.fixture()
+def model():
+    return default_fluctuation_model()
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("obs", [[0], [1, 2], [0, 1, 2, 1], [2, 2, 0, 1, 0]])
+    def test_likelihood_matches(self, model, obs):
+        result = forward_backward(model, np.array(obs))
+        expected = brute_force_likelihood(model, obs)
+        assert result.log_likelihood == pytest.approx(np.log(expected), abs=1e-9)
+
+    @pytest.mark.parametrize("obs", [[0, 1, 2], [1, 1, 0, 2]])
+    def test_gamma_matches(self, model, obs):
+        result = forward_backward(model, np.array(obs))
+        np.testing.assert_allclose(
+            result.gamma, brute_force_gamma(model, obs), atol=1e-10
+        )
+
+    def test_forward_only_likelihood_matches(self, model):
+        obs = np.array([0, 2, 1, 1, 0])
+        ll = sequence_log_likelihood(model, obs)
+        assert ll == pytest.approx(np.log(brute_force_likelihood(model, list(obs))))
+
+
+class TestNumericalProperties:
+    def test_gamma_rows_normalized(self, model):
+        rng = np.random.default_rng(0)
+        obs = rng.integers(0, 3, size=100)
+        result = forward_backward(model, obs)
+        np.testing.assert_allclose(result.gamma.sum(axis=1), 1.0)
+
+    def test_long_sequence_no_underflow(self, model):
+        rng = np.random.default_rng(1)
+        obs = rng.integers(0, 3, size=5000)
+        result = forward_backward(model, obs)
+        assert np.isfinite(result.log_likelihood)
+        assert np.all(np.isfinite(result.gamma))
+
+    def test_scales_positive(self, model):
+        obs = np.array([0, 1, 2, 1, 0])
+        result = forward_backward(model, obs)
+        assert np.all(result.scales > 0)
+
+    def test_alpha_rows_sum_to_one(self, model):
+        obs = np.array([0, 1, 2])
+        result = forward_backward(model, obs)
+        np.testing.assert_allclose(result.alpha.sum(axis=1), 1.0)
+
+    def test_impossible_observation(self):
+        # A model whose states can never emit symbol 2.
+        emission = np.array([[0.5, 0.5, 0.0], [0.5, 0.5, 0.0]])
+        model = HiddenMarkovModel(
+            np.array([[0.5, 0.5], [0.5, 0.5]]), emission, np.array([0.5, 0.5])
+        )
+        with pytest.raises(ValueError, match="impossible"):
+            forward_backward(model, np.array([0, 2]))
+        assert sequence_log_likelihood(model, np.array([0, 2])) == -np.inf
+
+    def test_single_observation(self, model):
+        result = forward_backward(model, np.array([1]))
+        assert result.gamma.shape == (1, 3)

@@ -1,0 +1,95 @@
+"""HMM container validation and the default fluctuation model."""
+
+import numpy as np
+import pytest
+
+from repro.hmm.model import (
+    STATE_NAMES,
+    SYMBOL_NAMES,
+    HiddenMarkovModel,
+    default_fluctuation_model,
+)
+
+
+def valid_model():
+    return default_fluctuation_model()
+
+
+class TestValidation:
+    def test_default_is_valid(self):
+        m = valid_model()
+        assert m.n_states == 3
+        assert m.n_symbols == 3
+
+    def test_paper_dimensions(self):
+        # Section III-A.1b: H = 3 hidden states, M = 3 symbols.
+        assert len(STATE_NAMES) == 3
+        assert len(SYMBOL_NAMES) == 3
+        assert SYMBOL_NAMES == ("peak", "center", "valley")
+        assert STATE_NAMES == ("OP", "NP", "UP")
+
+    def test_non_square_transition(self):
+        with pytest.raises(ValueError):
+            HiddenMarkovModel(np.ones((2, 3)) / 3, np.ones((2, 3)) / 3,
+                              np.array([0.5, 0.5]))
+
+    def test_rows_must_sum_to_one(self):
+        bad = np.array([[0.5, 0.1], [0.5, 0.5]])
+        with pytest.raises(ValueError):
+            HiddenMarkovModel(bad, np.ones((2, 2)) / 2, np.array([0.5, 0.5]))
+
+    def test_negative_entries(self):
+        a = np.array([[1.5, -0.5], [0.5, 0.5]])
+        with pytest.raises(ValueError):
+            HiddenMarkovModel(a, np.ones((2, 2)) / 2, np.array([0.5, 0.5]))
+
+    def test_initial_shape(self):
+        with pytest.raises(ValueError):
+            HiddenMarkovModel(np.ones((2, 2)) / 2, np.ones((2, 2)) / 2,
+                              np.array([1.0]))
+
+    def test_emission_state_mismatch(self):
+        with pytest.raises(ValueError):
+            HiddenMarkovModel(np.ones((2, 2)) / 2, np.ones((3, 2)) / 2,
+                              np.array([0.5, 0.5]))
+
+
+class TestObservations:
+    def test_valid_sequence(self):
+        obs = valid_model().validate_observations([0, 1, 2, 1])
+        assert obs.dtype == np.int64
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            valid_model().validate_observations([])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            valid_model().validate_observations([0, 3])
+        with pytest.raises(ValueError):
+            valid_model().validate_observations([-1])
+
+
+class TestHelpers:
+    def test_copy_is_deep(self):
+        m = valid_model()
+        c = m.copy()
+        c.transition[0, 0] = 0.99
+        assert m.transition[0, 0] != 0.99
+
+    def test_seeded_perturbation_still_stochastic(self):
+        m = default_fluctuation_model(seed=42)
+        np.testing.assert_allclose(m.transition.sum(axis=1), 1.0)
+        np.testing.assert_allclose(m.emission.sum(axis=1), 1.0)
+
+    def test_seeds_differ(self):
+        a = default_fluctuation_model(seed=1)
+        b = default_fluctuation_model(seed=2)
+        assert not np.allclose(a.transition, b.transition)
+
+    def test_states_prefer_their_symbols(self):
+        # OP -> peak, NP -> center, UP -> valley (Fig. 3's structure).
+        m = valid_model()
+        assert np.argmax(m.emission[0]) == 0
+        assert np.argmax(m.emission[1]) == 1
+        assert np.argmax(m.emission[2]) == 2

@@ -1,0 +1,94 @@
+"""Viterbi decoding vs brute-force best path; Eq. 16 MAP decoding."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.hmm.model import HiddenMarkovModel, default_fluctuation_model
+from repro.hmm.viterbi import map_states, viterbi
+
+
+def brute_force_best_path(model, obs):
+    best, best_p = None, -1.0
+    for path in itertools.product(range(model.n_states), repeat=len(obs)):
+        p = model.initial[path[0]] * model.emission[path[0], obs[0]]
+        for t in range(1, len(obs)):
+            p *= model.transition[path[t - 1], path[t]]
+            p *= model.emission[path[t], obs[t]]
+        if p > best_p:
+            best, best_p = path, p
+    return np.array(best), best_p
+
+
+@pytest.fixture()
+def model():
+    return default_fluctuation_model()
+
+
+class TestViterbi:
+    @pytest.mark.parametrize(
+        "obs", [[0], [2, 0], [0, 1, 2, 1], [1, 1, 1, 0, 2], [2, 0, 2, 0, 2, 0]]
+    )
+    def test_matches_brute_force(self, model, obs):
+        result = viterbi(model, np.array(obs))
+        expected_path, expected_p = brute_force_best_path(model, obs)
+        assert result.log_probability == pytest.approx(np.log(expected_p))
+        # Ties are possible; the returned path must attain the optimum.
+        p = model.initial[result.states[0]] * model.emission[result.states[0], obs[0]]
+        for t in range(1, len(obs)):
+            p *= model.transition[result.states[t - 1], result.states[t]]
+            p *= model.emission[result.states[t], obs[t]]
+        assert p == pytest.approx(expected_p)
+
+    def test_long_sequence_finite(self, model):
+        rng = np.random.default_rng(2)
+        obs = rng.integers(0, 3, size=3000)
+        result = viterbi(model, obs)
+        assert np.isfinite(result.log_probability)
+        assert result.states.shape == (3000,)
+
+    def test_states_in_range(self, model):
+        rng = np.random.default_rng(3)
+        obs = rng.integers(0, 3, size=50)
+        states = viterbi(model, obs).states
+        assert states.min() >= 0 and states.max() < model.n_states
+
+    def test_deterministic_emissions_recover_states(self):
+        # With identity emissions, the best path must read off the symbols.
+        eye = np.eye(3)
+        model = HiddenMarkovModel(np.full((3, 3), 1 / 3), eye, np.full(3, 1 / 3))
+        obs = np.array([2, 0, 1, 1, 2])
+        np.testing.assert_array_equal(viterbi(model, obs).states, obs)
+
+    def test_zero_probability_transitions_avoided(self):
+        # State 0 can never follow state 1; Viterbi must respect that.
+        A = np.array([[0.5, 0.5], [0.0, 1.0]])
+        B = np.array([[0.9, 0.1], [0.1, 0.9]])
+        model = HiddenMarkovModel(A, B, np.array([1.0, 0.0]))
+        states = viterbi(model, np.array([0, 1, 0])).states
+        for a, b in zip(states[:-1], states[1:]):
+            assert A[a, b] > 0
+
+
+class TestMapStates:
+    def test_shape_and_range(self, model):
+        obs = np.array([0, 1, 2, 1])
+        states = map_states(model, obs)
+        assert states.shape == (4,)
+        assert states.min() >= 0 and states.max() < 3
+
+    def test_matches_gamma_argmax(self, model):
+        from repro.hmm.forward_backward import forward_backward
+
+        obs = np.array([0, 2, 1, 1, 0, 2])
+        states = map_states(model, obs)
+        gamma = forward_backward(model, obs).gamma
+        np.testing.assert_array_equal(states, gamma.argmax(axis=1))
+
+    def test_map_and_viterbi_agree_on_easy_input(self, model):
+        # Strongly informative observations: both decoders should agree.
+        obs = np.array([0, 0, 0, 0])
+        np.testing.assert_array_equal(
+            map_states(model, obs), viterbi(model, obs).states
+        )

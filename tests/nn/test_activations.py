@@ -1,0 +1,87 @@
+"""Activation functions and their output-space derivatives."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nn.activations import LINEAR, RELU, SIGMOID, TANH, get_activation
+
+floats = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert SIGMOID(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_range(self):
+        x = np.linspace(-30, 30, 201)
+        y = SIGMOID(x)
+        assert np.all(y > 0) and np.all(y < 1)
+
+    def test_monotone(self):
+        x = np.linspace(-10, 10, 101)
+        assert np.all(np.diff(SIGMOID(x)) > 0)
+
+    def test_no_overflow_extremes(self):
+        y = SIGMOID(np.array([-1e6, 1e6]))
+        assert y[0] == pytest.approx(0.0)
+        assert y[1] == pytest.approx(1.0)
+
+    def test_derivative_formula(self):
+        g = SIGMOID(np.array([0.3]))
+        assert SIGMOID.deriv(g)[0] == pytest.approx(g[0] * (1 - g[0]))
+
+    @given(floats)
+    def test_derivative_matches_numerical(self, x):
+        h = 1e-6
+        arr = np.array([x])
+        numeric = (SIGMOID(arr + h) - SIGMOID(arr - h)) / (2 * h)
+        analytic = SIGMOID.deriv(SIGMOID(arr))
+        np.testing.assert_allclose(analytic, numeric, atol=1e-4)
+
+
+class TestTanh:
+    def test_odd_function(self):
+        x = np.array([1.7])
+        assert TANH(-x)[0] == pytest.approx(-TANH(x)[0])
+
+    @given(floats)
+    def test_derivative_matches_numerical(self, x):
+        h = 1e-6
+        arr = np.array([x])
+        numeric = (TANH(arr + h) - TANH(arr - h)) / (2 * h)
+        analytic = TANH.deriv(TANH(arr))
+        np.testing.assert_allclose(analytic, numeric, atol=1e-4)
+
+
+class TestRelu:
+    def test_values(self):
+        np.testing.assert_array_equal(
+            RELU(np.array([-2.0, 0.0, 3.0])), [0.0, 0.0, 3.0]
+        )
+
+    def test_derivative(self):
+        g = RELU(np.array([-2.0, 3.0]))
+        np.testing.assert_array_equal(RELU.deriv(g), [0.0, 1.0])
+
+
+class TestLinear:
+    def test_identity(self):
+        x = np.array([-1.5, 2.0])
+        np.testing.assert_array_equal(LINEAR(x), x)
+        np.testing.assert_array_equal(LINEAR.deriv(x), [1.0, 1.0])
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["sigmoid", "tanh", "relu", "linear"])
+    def test_lookup(self, name):
+        assert get_activation(name).name == name
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="unknown activation"):
+            get_activation("swish")
+
+    def test_callable(self):
+        act = get_activation("sigmoid")
+        assert act(np.zeros(1))[0] == pytest.approx(0.5)

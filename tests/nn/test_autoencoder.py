@@ -1,0 +1,71 @@
+"""Autoencoder pre-training path (Section III-A.1a)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autoencoder import Autoencoder, pretrain_hidden_stack
+from repro.nn.network import FeedForwardNetwork
+from repro.nn.optimizers import Adam
+from repro.nn.training import TrainingConfig
+
+
+class TestAutoencoder:
+    def test_symmetry(self):
+        ae = Autoencoder([6, 3])
+        assert ae.input_size == 6
+        assert ae.code_size == 3
+        assert ae.network.output_size == 6
+
+    def test_deep_encoder(self):
+        ae = Autoencoder([8, 6, 2])
+        assert ae.code_size == 2
+        # 8 -> 6 -> 2 -> 6 -> 8: four layers
+        assert len(ae.network.layers) == 4
+
+    def test_too_few_sizes(self):
+        with pytest.raises(ValueError):
+            Autoencoder([4])
+
+    def test_encode_shape(self):
+        ae = Autoencoder([6, 3])
+        assert ae.encode(np.zeros((5, 6))).shape == (5, 3)
+
+    def test_reconstruct_shape(self):
+        ae = Autoencoder([6, 3])
+        assert ae.reconstruct(np.zeros((5, 6))).shape == (5, 6)
+
+    def test_training_reduces_reconstruction_error(self):
+        rng = np.random.default_rng(0)
+        # Data on a 2-D manifold inside 6-D space is compressible.
+        latent = rng.uniform(0.2, 0.8, size=(300, 2))
+        mix = rng.uniform(size=(2, 6))
+        x = np.clip(latent @ mix, 0, 1)
+        ae = Autoencoder([6, 3], seed=1)
+        before = ae.reconstruction_error(x)
+        ae.fit(x, TrainingConfig(max_epochs=60, patience=60, seed=2),
+               optimizer=Adam(0.01))
+        assert ae.reconstruction_error(x) < before
+
+
+class TestPretrain:
+    def test_copies_encoder_weights(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(size=(100, 6))
+        net = FeedForwardNetwork([6, 4, 1], seed=4)
+        ae = pretrain_hidden_stack(
+            net, x, config=TrainingConfig(max_epochs=5, patience=5)
+        )
+        np.testing.assert_array_equal(
+            net.layers[0].weights, ae.network.layers[0].weights
+        )
+
+    def test_network_still_trainable_after_pretrain(self):
+        rng = np.random.default_rng(5)
+        x = rng.uniform(size=(100, 6))
+        y = x.mean(axis=1, keepdims=True)
+        net = FeedForwardNetwork([6, 4, 1], seed=6)
+        pretrain_hidden_stack(net, x, config=TrainingConfig(max_epochs=3, patience=3))
+        loss0 = net.evaluate(x, y)
+        for _ in range(100):
+            net.train_batch(x, y, optimizer=Adam(0.01))
+        assert net.evaluate(x, y) < loss0

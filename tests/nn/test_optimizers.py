@@ -1,0 +1,86 @@
+"""SGD / Momentum / Adam update rules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optimizers import SGD, Adam, Momentum, get_optimizer
+
+
+class TestSgd:
+    def test_update_in_place(self):
+        param = np.array([1.0, 2.0])
+        SGD(0.1).step("p", param, np.array([1.0, -1.0]))
+        np.testing.assert_allclose(param, [0.9, 2.1])
+
+    def test_paper_equation_8(self):
+        # Δw = μ · E · g — one gradient-descent step with rate μ.
+        mu = 0.25
+        param = np.zeros(3)
+        grad = np.array([1.0, 2.0, 3.0])
+        SGD(mu).step("p", param, grad)
+        np.testing.assert_allclose(param, -mu * grad)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            SGD(0.0)
+
+
+class TestMomentum:
+    def test_accumulates_velocity(self):
+        opt = Momentum(0.1, momentum=0.9)
+        param = np.zeros(1)
+        for _ in range(3):
+            opt.step("p", param, np.array([1.0]))
+        # steps: -0.1, then -0.19, then -0.271
+        assert param[0] == pytest.approx(-(0.1 + 0.19 + 0.271))
+
+    def test_separate_state_per_param(self):
+        opt = Momentum(0.1, momentum=0.9)
+        a, b = np.zeros(1), np.zeros(1)
+        opt.step("a", a, np.array([1.0]))
+        opt.step("b", b, np.array([1.0]))
+        assert a[0] == b[0]  # independent velocities
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            Momentum(0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_first_step_magnitude(self):
+        opt = Adam(learning_rate=0.001)
+        param = np.zeros(1)
+        opt.step("p", param, np.array([10.0]))
+        # bias-corrected first step ≈ lr regardless of gradient scale
+        assert param[0] == pytest.approx(-0.001, rel=1e-3)
+
+    def test_converges_on_quadratic(self):
+        opt = Adam(0.1)
+        theta = np.array([5.0])
+        for _ in range(500):
+            opt.step("t", theta, 2 * theta)  # d/dθ of θ²
+        assert abs(theta[0]) < 0.05
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(beta2=-0.1)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Adam(learning_rate=0.0)
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert isinstance(get_optimizer("sgd"), SGD)
+        assert isinstance(get_optimizer("momentum"), Momentum)
+        assert isinstance(get_optimizer("adam", learning_rate=0.5), Adam)
+
+    def test_kwargs_forwarded(self):
+        assert get_optimizer("sgd", learning_rate=0.7).learning_rate == 0.7
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_optimizer("rmsprop")

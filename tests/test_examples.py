@@ -1,0 +1,34 @@
+"""The bundled examples import cleanly and expose a main() entry point.
+
+Full executions are exercised manually / in CI-nightly (they run
+multi-second simulations); importability plus the __main__ guard is the
+regression surface worth pinning here.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # must not run main() on import
+    assert callable(getattr(module, "main", None)), path.stem
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "compare_schedulers",
+        "iot_burst_queries",
+        "capacity_planning",
+        "custom_scheduler",
+    } <= names

@@ -1,0 +1,156 @@
+"""Cross-module integration tests: the four methods on one shared workload.
+
+These are the repository's "does the whole thing hang together" checks —
+a scaled-down version of the benchmark harness with structural (not
+statistical) assertions, so they stay robust at test sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CloudScaleScheduler,
+    ClusterProfile,
+    ClusterSimulator,
+    CorpConfig,
+    CorpScheduler,
+    DraScheduler,
+    METHOD_ORDER,
+    RccrScheduler,
+    SimulationConfig,
+)
+
+from .conftest import make_short_trace
+
+
+@pytest.fixture(scope="module")
+def shared_trace():
+    return make_short_trace(n_jobs=35, seed=91)
+
+
+@pytest.fixture(scope="module")
+def shared_history():
+    return make_short_trace(
+        n_jobs=120, seed=92, arrival_span_s=None, arrival_rate_per_s=0.2
+    )
+
+
+@pytest.fixture(scope="module")
+def all_results(shared_trace, shared_history, fast_corp_config, fitted_predictor):
+    def make(name):
+        if name == "CORP":
+            return CorpScheduler(fast_corp_config, predictor=fitted_predictor)
+        if name == "RCCR":
+            return RccrScheduler(seed=1)
+        if name == "CloudScale":
+            return CloudScaleScheduler(seed=1)
+        return DraScheduler(seed=1)
+
+    results = {}
+    for name in METHOD_ORDER:
+        scheduler = make(name)
+        sim = ClusterSimulator(
+            ClusterProfile.palmetto(n_pms=4, vms_per_pm=2),
+            scheduler,
+            SimulationConfig(),
+        )
+        results[name] = sim.run(shared_trace, history=shared_history)
+    return results
+
+
+class TestAllMethodsRun:
+    def test_every_method_completes_every_job(self, all_results):
+        for name, result in all_results.items():
+            assert result.all_done, name
+
+    def test_every_method_produces_metrics(self, all_results):
+        for name, result in all_results.items():
+            summary = result.summary()
+            assert 0.0 < summary["overall_utilization"] <= 1.0, name
+            assert 0.0 <= summary["slo_violation_rate"] <= 1.0, name
+
+    def test_every_method_tracks_predictions(self, all_results):
+        for name, result in all_results.items():
+            assert result.prediction_error_rate is not None, name
+            assert 0.0 <= result.prediction_error_rate <= 1.0, name
+
+    def test_every_method_charges_latency(self, all_results):
+        for name, result in all_results.items():
+            assert result.allocation_latency_s > 0.0, name
+
+    def test_only_opportunistic_schemes_place_riders(self, all_results):
+        for name in ("CloudScale", "DRA"):
+            riders = [j for j in all_results[name].jobs if j.opportunistic]
+            assert riders == [], name
+
+
+class TestCommitmentInvariants:
+    def test_utilization_denominator_deduplicates_riders(
+        self, shared_trace, shared_history, fast_corp_config, fitted_predictor
+    ):
+        """Riders add demand but no commitment, so a run with riders
+        must show overall utilization at least as high as the identical
+        run with reuse disabled."""
+        import dataclasses
+
+        with_reuse = CorpScheduler(fast_corp_config, predictor=fitted_predictor)
+        sim = ClusterSimulator(
+            ClusterProfile.palmetto(n_pms=4, vms_per_pm=2),
+            with_reuse,
+            SimulationConfig(),
+        )
+        result_reuse = sim.run(shared_trace, history=shared_history)
+
+        cfg = dataclasses.replace(fast_corp_config, probability_threshold=1.0)
+        no_reuse = CorpScheduler(cfg, predictor=fitted_predictor)
+        sim = ClusterSimulator(
+            ClusterProfile.palmetto(n_pms=4, vms_per_pm=2),
+            no_reuse,
+            SimulationConfig(),
+        )
+        result_none = sim.run(shared_trace, history=shared_history)
+        riders = sum(1 for j in result_reuse.jobs if j.opportunistic)
+        if riders > 0:
+            assert (
+                result_reuse.summary()["overall_utilization"]
+                >= result_none.summary()["overall_utilization"] - 1e-6
+            )
+
+    def test_ec2_latency_above_cluster(self, shared_trace, shared_history):
+        """The EC2 RTT model must raise the modeled allocation latency
+        for the same scheduler and workload (comm-ops dominate)."""
+        results = {}
+        for profile in (
+            ClusterProfile.palmetto(n_pms=15, vms_per_pm=2),
+            ClusterProfile(
+                name="ec2ish",
+                n_pms=30,
+                pm_capacity=ClusterProfile.ec2().pm_capacity,
+                vms_per_pm=1,
+                comm_latency_s=ClusterProfile.ec2().comm_latency_s,
+            ),
+        ):
+            sched = RccrScheduler(seed=2)
+            sim = ClusterSimulator(profile, sched, SimulationConfig())
+            sim.run(shared_trace, history=shared_history)
+            results[profile.name] = sched.latency.comm_s
+        assert results["ec2ish"] > results["palmetto"]
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_outcomes(
+        self, shared_trace, shared_history, fast_corp_config, fitted_predictor
+    ):
+        outcomes = []
+        for _ in range(2):
+            sched = CorpScheduler(fast_corp_config, predictor=fitted_predictor)
+            sim = ClusterSimulator(
+                ClusterProfile.palmetto(n_pms=4, vms_per_pm=2),
+                sched,
+                SimulationConfig(),
+            )
+            result = sim.run(shared_trace, history=shared_history)
+            summary = result.summary()
+            summary.pop("allocation_latency_s")
+            outcomes.append(summary)
+        assert outcomes[0] == outcomes[1]

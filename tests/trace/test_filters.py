@@ -1,0 +1,67 @@
+"""Long-lived-job removal and job-count limiting (Section IV setup)."""
+
+import pytest
+
+from repro.trace.filters import (
+    is_short_lived,
+    keep_long_lived,
+    limit_jobs,
+    remove_long_lived,
+)
+from repro.trace.records import Trace
+
+from .test_records import make_record
+
+
+def mixed_trace():
+    return Trace(
+        [
+            make_record(task_id=0, duration=60.0, is_short=True),
+            make_record(task_id=1, duration=7200.0, is_short=False, submit=5.0),
+            make_record(task_id=2, duration=120.0, is_short=True, submit=10.0),
+            # inconsistent record: flagged short but over the timeout
+            make_record(task_id=3, duration=900.0, is_short=True, submit=15.0),
+        ]
+    )
+
+
+class TestIsShortLived:
+    def test_short(self):
+        assert is_short_lived(make_record(duration=60.0, is_short=True))
+
+    def test_long_flag(self):
+        assert not is_short_lived(make_record(duration=60.0, is_short=False))
+
+    def test_over_timeout(self):
+        assert not is_short_lived(make_record(duration=301.0, is_short=True))
+
+    def test_custom_timeout(self):
+        assert is_short_lived(make_record(duration=500.0, is_short=True), timeout_s=600)
+
+
+class TestFilters:
+    def test_remove_long_lived(self):
+        kept = remove_long_lived(mixed_trace())
+        assert [r.task_id for r in kept] == [0, 2]
+
+    def test_keep_long_lived_is_complement(self):
+        trace = mixed_trace()
+        short = remove_long_lived(trace)
+        long_ = keep_long_lived(trace)
+        assert len(short) + len(long_) == len(trace)
+        assert {r.task_id for r in long_} == {1, 3}
+
+    def test_limit_jobs(self):
+        trace = mixed_trace()
+        assert len(limit_jobs(trace, 2)) == 2
+        assert [r.task_id for r in limit_jobs(trace, 2)] == [0, 1]
+
+    def test_limit_jobs_zero(self):
+        assert len(limit_jobs(mixed_trace(), 0)) == 0
+
+    def test_limit_jobs_over_length(self):
+        assert len(limit_jobs(mixed_trace(), 99)) == 4
+
+    def test_limit_jobs_negative(self):
+        with pytest.raises(ValueError):
+            limit_jobs(mixed_trace(), -1)

@@ -1,0 +1,97 @@
+"""5-minute → 10-second resampling (Section IV's trace transformation)."""
+
+import numpy as np
+import pytest
+
+from repro.trace.generator import GoogleTraceGenerator, TraceConfig
+from repro.trace.transform import resample_record, resample_trace
+
+from .test_records import make_record
+
+
+class TestResampleRecord:
+    def test_factor_and_period(self):
+        record = make_record(duration=600.0, period=300.0,
+                             usage=np.tile([1.0, 2.0, 5.0], (2, 1)))
+        fine = resample_record(record, 10.0, fluctuation_sigma=0.0)
+        assert fine.sample_period_s == 10.0
+        assert fine.n_samples == 60
+
+    def test_noop_when_periods_match(self):
+        record = make_record(period=10.0)
+        assert resample_record(record, 10.0) is record
+
+    def test_uneven_ratio_rejected(self):
+        record = make_record(period=300.0, duration=300.0,
+                             usage=np.tile([1.0, 2.0, 5.0], (1, 1)))
+        with pytest.raises(ValueError):
+            resample_record(record, 7.0)
+
+    def test_nonpositive_target_rejected(self):
+        record = make_record()
+        with pytest.raises(ValueError):
+            resample_record(record, 0.0)
+
+    def test_interpolation_without_noise(self):
+        usage = np.array([[0.0, 0.0, 0.0], [10.0, 10.0, 10.0]])
+        record = make_record(duration=600.0, period=300.0, usage=usage,
+                             request=(10, 10, 10))
+        fine = resample_record(record, 100.0, fluctuation_sigma=0.0)
+        # linear ramp: first three samples 0, 10/3, 20/3
+        np.testing.assert_allclose(fine.usage[:3, 0], [0.0, 10 / 3, 20 / 3])
+
+    def test_single_sample_repeats(self):
+        usage = np.array([[2.0, 2.0, 2.0]])
+        record = make_record(duration=300.0, period=300.0, usage=usage,
+                             request=(4, 4, 4))
+        fine = resample_record(record, 100.0, fluctuation_sigma=0.0)
+        np.testing.assert_allclose(fine.usage, 2.0)
+
+    def test_noise_zero_mean_per_window(self):
+        usage = np.tile([5.0, 5.0, 5.0], (4, 1))
+        record = make_record(duration=1200.0, period=300.0, usage=usage,
+                             request=(10, 10, 10))
+        fine = resample_record(record, 10.0, fluctuation_sigma=0.1, seed=1)
+        coarse_back = fine.usage.reshape(4, 30, 3).mean(axis=1)
+        np.testing.assert_allclose(coarse_back, 5.0, atol=0.35)
+
+    def test_noise_respects_bounds(self):
+        usage = np.tile([9.9, 9.9, 9.9], (2, 1))
+        record = make_record(duration=600.0, period=300.0, usage=usage,
+                             request=(10, 10, 10))
+        fine = resample_record(record, 10.0, fluctuation_sigma=0.3, seed=2)
+        assert np.all(fine.usage <= 10.0 + 1e-9)
+        assert np.all(fine.usage >= 0.0)
+
+    def test_trimmed_to_duration(self):
+        # A 90-second job sampled at 300 s has one coarse sample but
+        # only 9 fine (10 s) samples of life.
+        usage = np.array([[1.0, 1.0, 1.0]])
+        record = make_record(duration=90.0, period=300.0, usage=usage)
+        fine = resample_record(record, 10.0, fluctuation_sigma=0.0)
+        assert fine.n_samples == 9
+
+    def test_deterministic_in_seed(self):
+        record = make_record(duration=600.0, period=300.0,
+                             usage=np.tile([5.0, 5.0, 5.0], (2, 1)),
+                             request=(10, 10, 10))
+        a = resample_record(record, 10.0, seed=7)
+        b = resample_record(record, 10.0, seed=7)
+        np.testing.assert_array_equal(a.usage, b.usage)
+
+    def test_different_tasks_get_independent_noise(self):
+        r1 = make_record(task_id=1, duration=600.0, period=300.0,
+                         usage=np.tile([5.0, 5.0, 5.0], (2, 1)), request=(10, 10, 10))
+        r2 = make_record(task_id=2, duration=600.0, period=300.0,
+                         usage=np.tile([5.0, 5.0, 5.0], (2, 1)), request=(10, 10, 10))
+        f1 = resample_record(r1, 10.0, seed=7)
+        f2 = resample_record(r2, 10.0, seed=7)
+        assert not np.array_equal(f1.usage, f2.usage)
+
+
+class TestResampleTrace:
+    def test_applies_to_every_record(self):
+        trace = GoogleTraceGenerator(TraceConfig(n_jobs=10, seed=0)).generate()
+        fine = resample_trace(trace, 10.0)
+        assert len(fine) == len(trace)
+        assert all(r.sample_period_s == 10.0 for r in fine)

@@ -1,0 +1,59 @@
+"""Slot bucketing of the workload driver."""
+
+import numpy as np
+import pytest
+
+from repro.trace.records import Trace
+from repro.trace.workload import build_workload
+
+from .test_records import make_record
+
+
+def record_at(submit, task_id, period=10.0, duration=60.0):
+    return make_record(task_id=task_id, submit=submit, period=period,
+                       duration=duration)
+
+
+class TestBuildWorkload:
+    def test_bucketing(self):
+        trace = Trace([record_at(0.0, 1), record_at(9.9, 2), record_at(10.0, 3)])
+        wl = build_workload(trace, 10.0)
+        assert {r.task_id for r in wl.arrivals_at(0)} == {1, 2}
+        assert {r.task_id for r in wl.arrivals_at(1)} == {3}
+
+    def test_empty_slot(self):
+        wl = build_workload(Trace([record_at(0.0, 1)]), 10.0)
+        assert wl.arrivals_at(5) == ()
+
+    def test_total_jobs(self):
+        trace = Trace([record_at(float(i), i) for i in range(7)])
+        assert build_workload(trace, 10.0).total_jobs() == 7
+
+    def test_n_slots(self):
+        trace = Trace([record_at(0.0, 1), record_at(55.0, 2)])
+        assert build_workload(trace, 10.0).n_slots == 5
+
+    def test_empty_trace(self):
+        wl = build_workload(Trace(), 10.0)
+        assert wl.n_slots == 0
+        assert wl.total_jobs() == 0
+
+    def test_period_mismatch_rejected(self):
+        trace = Trace([record_at(0.0, 1, period=300.0)])
+        with pytest.raises(ValueError):
+            build_workload(trace, 10.0)
+
+    def test_bad_slot_duration(self):
+        with pytest.raises(ValueError):
+            build_workload(Trace(), 0.0)
+
+    def test_iter_slots_ordered(self):
+        trace = Trace([record_at(30.0, 1), record_at(0.0, 2)])
+        slots = [slot for slot, _ in build_workload(trace, 10.0).iter_slots()]
+        assert slots == [0, 3]
+
+    def test_arrival_counts(self):
+        trace = Trace([record_at(0.0, 1), record_at(0.5, 2), record_at(20.0, 3)])
+        counts = build_workload(trace, 10.0).arrival_counts()
+        np.testing.assert_array_equal(counts, [2, 0, 1])
+        assert counts.sum() == 3
