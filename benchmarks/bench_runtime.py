@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Benchmark the end-to-end experiment sweep and write BENCH_runtime.json.
+
+Times the full sweep (all four schedulers on both cluster profiles)
+twice — once through the pre-optimization legacy shim, once through the
+current hot path — checks the two produce identical results, and writes
+both wall-clock numbers plus the speedup to a JSON report.
+
+Usage::
+
+    python benchmarks/bench_runtime.py            # full sweep
+    python benchmarks/bench_runtime.py --quick    # CI smoke (2 counts)
+    python benchmarks/bench_runtime.py --workers 4
+    python benchmarks/bench_runtime.py --out /tmp/bench.json --no-assert
+
+Exits non-zero if the optimized sweep's summaries deviate from the
+baseline's or (unless ``--no-assert``) the speedup is below 3x.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.experiments.bench import write_benchmark  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="abbreviated sweep (job counts 50 and 150) for CI smoke runs",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes for the optimized sweep (0 = serial)",
+    )
+    parser.add_argument(
+        "--out", default=os.path.join(REPO_ROOT, "BENCH_runtime.json"),
+        help="report path (default: BENCH_runtime.json at the repo root)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="fail below this baseline/optimized ratio "
+             "(default: 3.0 full sweep, 2.0 quick smoke)",
+    )
+    parser.add_argument(
+        "--no-assert", action="store_true",
+        help="record the numbers without enforcing the speedup floor",
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = write_benchmark(
+            args.out,
+            quick=args.quick,
+            workers=args.workers,
+            seed=args.seed,
+            min_speedup=float("-inf") if args.no_assert else args.min_speedup,
+        )
+    except AssertionError as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,12 +7,15 @@ Commands
 ``figure``    — regenerate one of the paper's figures (fig06..fig14).
 ``ablations`` — run the CORP component ablations (DESIGN.md §5).
 ``mixed``     — the mixed short+long workload extension.
+``bench``     — time the end-to-end sweep against the pre-optimization
+                baseline and write a JSON report.
 
 Examples::
 
-    python -m repro compare --jobs 200
+    python -m repro compare --jobs 200 --workers 4
     python -m repro figure fig09 --testbed cluster
     python -m repro ablations
+    python -m repro bench --quick --bench-out BENCH_runtime.json
 """
 
 from __future__ import annotations
@@ -31,7 +34,12 @@ from .experiments.figures import (
 from .experiments.mixed import run_mixed_workload
 from .experiments.plot import save_figure_svg
 from .experiments.report import format_table
-from .experiments.runner import PredictorCache, run_methods
+from .experiments.runner import (
+    PredictorCache,
+    run_methods,
+    run_specs,
+    sweep_specs,
+)
 from .experiments.scenarios import cluster_scenario, ec2_scenario
 
 FIGURES = (
@@ -43,7 +51,12 @@ FIGURES = (
 def _cmd_compare(args: argparse.Namespace) -> int:
     builder = cluster_scenario if args.testbed == "cluster" else ec2_scenario
     scenario = builder(args.jobs, seed=args.seed)
-    results = run_methods(scenario, seed=args.seed)
+    if args.workers >= 2:
+        specs = sweep_specs([scenario], seed=args.seed)
+        by_spec = run_specs(specs, workers=args.workers)
+        results = {s.method: r for s, r in zip(specs, by_spec)}
+    else:
+        results = run_methods(scenario, seed=args.seed)
     rows = []
     for method, result in results.items():
         summary = result.summary()
@@ -147,6 +160,27 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from .experiments.bench import write_benchmark
+
+    try:
+        report = write_benchmark(
+            args.bench_out,
+            quick=args.quick,
+            workers=args.workers,
+            seed=args.seed,
+            min_speedup=float("-inf") if args.no_assert else None,
+        )
+    except AssertionError as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.bench_out}")
+    return 0
+
+
 def _cmd_mixed(args: argparse.Namespace) -> int:
     results = run_mixed_workload(n_jobs=args.jobs, seed=args.seed)
     rows = [
@@ -181,6 +215,11 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--jobs", type=int, default=200)
     compare.add_argument("--testbed", choices=("cluster", "ec2"), default="cluster")
     compare.add_argument("--seed", type=int, default=7)
+    compare.add_argument(
+        "--workers", type=int, default=0,
+        help="run the four schedulers across N worker processes "
+             "(0 = in-process; results are identical either way)",
+    )
     compare.set_defaults(func=_cmd_compare)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
@@ -203,6 +242,28 @@ def build_parser() -> argparse.ArgumentParser:
     mixed.add_argument("--jobs", type=int, default=200)
     mixed.add_argument("--seed", type=int, default=7)
     mixed.set_defaults(func=_cmd_mixed)
+
+    bench = sub.add_parser(
+        "bench", help="time the sweep against the pre-optimization baseline"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="abbreviated sweep (job counts 50 and 150)",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes for the optimized sweep (0 = serial)",
+    )
+    bench.add_argument(
+        "--bench-out", default="BENCH_runtime.json",
+        help="path of the JSON report (default: BENCH_runtime.json)",
+    )
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument(
+        "--no-assert", action="store_true",
+        help="record the numbers without enforcing the speedup floor",
+    )
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

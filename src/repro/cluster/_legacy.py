@@ -1,0 +1,162 @@
+"""Pre-vectorization reference implementations (benchmark + test oracle).
+
+``legacy_execute_slot`` is the per-placement Python-loop slot execution
+that :meth:`repro.cluster.machine.VirtualMachine.execute_slot` replaced,
+kept verbatim so that
+
+* the property tests can check the vectorized path against the original
+  semantics on randomized placements, and
+* ``benchmarks/bench_runtime.py`` can measure the pre-optimization
+  baseline live on the current machine instead of trusting a recorded
+  number.
+
+``legacy_max_vm_capacity`` likewise rebuilds the elementwise max VM
+capacity from scratch on every call, the way ``ClusterSimulator._admit``
+did before the simulator memoized it.
+
+Do not use these in production paths; they are intentionally slow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .machine import Placement, SlotOutcome, VirtualMachine
+from .resources import NUM_RESOURCES, ResourceVector
+
+__all__ = [
+    "legacy_execute_slot",
+    "legacy_max_vm_capacity",
+    "legacy_fits_within",
+    "legacy_is_nonnegative",
+    "legacy_any_positive",
+    "legacy_job_demand",
+    "legacy_committed",
+    "legacy_unallocated",
+    "legacy_burst_pad",
+    "legacy_error_pad",
+]
+
+
+def legacy_execute_slot(vm: VirtualMachine, slot: int) -> SlotOutcome:
+    """The original per-placement ``execute_slot`` body, unvectorized."""
+    committed = ResourceVector(vm._committed)
+    cap_arr = vm.capacity.as_array()
+    primaries = [p for p in vm.placements if not p.opportunistic]
+    opportunists = [p for p in vm.placements if p.opportunistic]
+
+    # --- primaries ---------------------------------------------------
+    primary_demand = np.zeros(NUM_RESOURCES)
+    primary_granted = np.zeros(NUM_RESOURCES)
+    grants: list[tuple[Placement, ResourceVector]] = []
+    for p in primaries:
+        d = p.job.record.usage_at(
+            min(int(p.job.progress), p.job.record.n_samples - 1)
+        ).as_array()
+        cap = p.effective_cap().as_array()
+        g = np.minimum(d, cap)
+        primary_demand += d
+        grants.append((p, ResourceVector(g)))
+        primary_granted += g
+    # Physical sanity: primaries cannot collectively exceed capacity.
+    over = primary_granted > cap_arr + 1e-9
+    if over.any():
+        scale = np.ones(NUM_RESOURCES)
+        scale[over] = cap_arr[over] / primary_granted[over]
+        grants = [(p, ResourceVector(g.as_array() * scale)) for p, g in grants]
+        primary_granted = np.minimum(primary_granted, cap_arr)
+
+    # --- opportunists -------------------------------------------------
+    remaining = np.maximum(cap_arr - primary_granted, 0.0)
+    opp_demand = np.zeros(NUM_RESOURCES)
+    for p in opportunists:
+        opp_demand += p.job.demand().as_array()
+    if opportunists:
+        scale = np.ones(NUM_RESOURCES)
+        tight = opp_demand > remaining + 1e-12
+        scale[tight] = np.where(
+            opp_demand[tight] > 0, remaining[tight] / opp_demand[tight], 0.0
+        )
+        for p in opportunists:
+            d = p.job.demand().as_array()
+            cap = p.effective_cap().as_array()
+            g = np.minimum(d * scale, cap)
+            grants.append((p, ResourceVector(g)))
+
+    # --- advance ------------------------------------------------------
+    served = np.zeros(NUM_RESOURCES)
+    for p, granted in grants:
+        rate = p.job.compute_rate(granted)
+        served += np.minimum(granted.as_array(), p.job.demand().as_array())
+        p.job.advance(rate, slot)
+
+    unused = (committed - ResourceVector(primary_demand)).clip_nonnegative()
+    vm._unused_history.append(unused.as_array().copy())
+    vm._demand_history.append(primary_demand + opp_demand)
+    return SlotOutcome(
+        committed=committed,
+        primary_demand=ResourceVector(primary_demand),
+        opportunistic_demand=ResourceVector(opp_demand),
+        served_demand=ResourceVector(served),
+        unused=unused,
+    )
+
+
+def legacy_max_vm_capacity(vms) -> ResourceVector:
+    """Uncached elementwise max capacity across VMs (per-arrival cost)."""
+    return ResourceVector.elementwise_max(vm.capacity for vm in vms)
+
+
+# ----------------------------------------------------------------------
+# Pre-optimization bodies of the small hot-path methods, verbatim.
+# ``repro.experiments.bench.legacy_mode`` patches these in so the
+# baseline measurement reflects the original per-call numpy overhead.
+# ----------------------------------------------------------------------
+
+
+def legacy_fits_within(self, capacity, *, atol: float = 1e-9) -> bool:
+    """Original numpy-reduction ``ResourceVector.fits_within``."""
+    return bool(np.all(self._v <= capacity._v + atol))
+
+
+def legacy_is_nonnegative(self, *, atol: float = 1e-9) -> bool:
+    """Original numpy-reduction ``ResourceVector.is_nonnegative``."""
+    return bool(np.all(self._v >= -atol))
+
+
+def legacy_any_positive(self, *, atol: float = 1e-9) -> bool:
+    """Original numpy-reduction ``ResourceVector.any_positive``."""
+    return bool(np.any(self._v > atol))
+
+
+def legacy_job_demand(self) -> ResourceVector:
+    """Original uncached ``Job.demand`` (fresh vector every call)."""
+    idx = min(int(self.progress), self.record.n_samples - 1)
+    return self.record.usage_at(idx)
+
+
+def legacy_committed(self) -> ResourceVector:
+    """Original unmemoized ``VirtualMachine.committed``."""
+    return ResourceVector(self._committed)
+
+
+def legacy_unallocated(self) -> ResourceVector:
+    """Original unmemoized ``VirtualMachine.unallocated``."""
+    return ResourceVector(
+        np.maximum(self.capacity.as_array() - self._committed, 0.0)
+    )
+
+
+def legacy_burst_pad(self) -> float:
+    """Original ``AdaptivePadding.burst_pad`` (numpy percentile)."""
+    if len(self._usage) < 2:
+        return 0.0
+    u = np.asarray(self._usage)
+    return float(max(np.percentile(u, self.percentile) - u.mean(), 0.0))
+
+
+def legacy_error_pad(self) -> float:
+    """Original ``AdaptivePadding.error_pad`` (numpy percentile)."""
+    if not self._under_errors:
+        return 0.0
+    return float(np.percentile(np.asarray(self._under_errors), self.percentile))

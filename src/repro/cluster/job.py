@@ -70,6 +70,12 @@ class Job:
     #: Per-slot demand vectors observed while running — the utilization
     #: history the predictors consume.
     demand_log: list[np.ndarray] = field(default_factory=list)
+    #: Memoized ``(sample_index, demand vector)`` pair — demand is read
+    #: several times per slot (grant computation, rate computation,
+    #: scheduler scans) but only changes when progress crosses a sample.
+    _demand_cache: Optional[tuple[int, ResourceVector]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.nominal_slots = max(
@@ -95,7 +101,18 @@ class Job:
         slowly rather than skipping ahead.
         """
         idx = min(int(self.progress), self.record.n_samples - 1)
-        return self.record.usage_at(idx)
+        cache = self._demand_cache
+        if cache is not None and cache[0] == idx:
+            return cache[1]
+        # The usage row is an immutable view of the record's read-only
+        # series, so it can be adopted without a defensive copy.
+        vec = ResourceVector._wrap(self.record.usage[idx])
+        self._demand_cache = (idx, vec)
+        return vec
+
+    def demand_array(self) -> np.ndarray:
+        """Raw read-only view of the current demand (hot-path variant)."""
+        return self.demand().as_array()
 
     # ------------------------------------------------------------------
     def start(self, slot: int, *, opportunistic: bool) -> None:
@@ -114,9 +131,9 @@ class Job:
         """
         if self.state is not JobState.RUNNING:
             raise RuntimeError(f"job {self.job_id} is not running")
-        rate = float(np.clip(rate, 0.0, 1.0))
+        rate = min(max(float(rate), 0.0), 1.0)
         self.rate_history.append(rate)
-        self.demand_log.append(self.demand().as_array().copy())
+        self.demand_log.append(self.demand_array().copy())
         self.progress += rate
         if self.progress >= self.nominal_slots - 1e-9:
             self.progress = float(self.nominal_slots)

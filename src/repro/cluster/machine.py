@@ -50,6 +50,10 @@ class Placement:
             return self.job.requested
         return self.reserved
 
+    def effective_cap_array(self) -> np.ndarray:
+        """Raw read-only view of :meth:`effective_cap` (hot-path variant)."""
+        return self.effective_cap().as_array()
+
 
 @dataclass(frozen=True)
 class SlotOutcome:
@@ -75,6 +79,11 @@ class VirtualMachine:
         # Incrementally maintained commitment total — committed() sits on
         # the scheduler's hottest path (feasibility scans over all VMs).
         self._committed = np.zeros(NUM_RESOURCES)
+        # Commitment changes only when placements come and go, but the
+        # derived vectors are read on every feasibility scan — memoize
+        # them and invalidate on placement churn.
+        self._committed_vec: ResourceVector | None = None
+        self._unallocated_vec: ResourceVector | None = None
         #: Per-slot history of actual unused resource (n_slots, l) rows;
         #: this is the series the predictors train on.
         self._unused_history: list[np.ndarray] = []
@@ -83,15 +92,25 @@ class VirtualMachine:
     # ------------------------------------------------------------------
     # commitment accounting
     # ------------------------------------------------------------------
+    def _invalidate_commitment(self) -> None:
+        self._committed_vec = None
+        self._unallocated_vec = None
+
     def committed(self) -> ResourceVector:
         """Total primary reservations currently held on this VM."""
-        return ResourceVector(self._committed)
+        vec = self._committed_vec
+        if vec is None:
+            vec = self._committed_vec = ResourceVector(self._committed)
+        return vec
 
     def unallocated(self) -> ResourceVector:
         """Capacity not yet committed to any primary reservation."""
-        return ResourceVector(
-            np.maximum(self.capacity.as_array() - self._committed, 0.0)
-        )
+        vec = self._unallocated_vec
+        if vec is None:
+            vec = self._unallocated_vec = ResourceVector._wrap(
+                np.maximum(self.capacity.as_array() - self._committed, 0.0)
+            )
+        return vec
 
     def primary_demand(self) -> ResourceVector:
         """Current total demand of the primary placements."""
@@ -132,14 +151,18 @@ class VirtualMachine:
         self.placements.append(placement)
         if not placement.opportunistic:
             self._committed += placement.reserved.as_array()
+            self._invalidate_commitment()
 
     def remove_completed(self) -> list[Job]:
         """Drop placements whose jobs completed; return those jobs."""
         done = [p.job for p in self.placements if p.job.state is JobState.COMPLETED]
+        if not done:
+            return done
         for p in self.placements:
             if p.job.state is JobState.COMPLETED and not p.opportunistic:
                 self._committed -= p.reserved.as_array()
         np.maximum(self._committed, 0.0, out=self._committed)  # float drift
+        self._invalidate_commitment()
         self.placements = [
             p for p in self.placements if p.job.state is not JobState.COMPLETED
         ]
@@ -155,81 +178,113 @@ class VirtualMachine:
         whatever physical capacity remains is shared by opportunistic
         placements proportionally to their demand (they are squeezed
         first — they hold no commitment).
+
+        Demands, caps and grants are handled as ``(n_placements, l)``
+        arrays; the per-placement reference semantics are preserved (and
+        property-tested against :mod:`repro.cluster._legacy`).
         """
         committed = self.committed()
+        placements = self.placements
+        n = len(placements)
+        if n == 0:
+            # Idle VM: nothing demands, nothing is served; unused slack
+            # equals the (non-negative) commitment.
+            zero = ResourceVector.zeros()
+            self._unused_history.append(self._committed.copy())
+            self._demand_history.append(np.zeros(NUM_RESOURCES))
+            return SlotOutcome(
+                committed=committed,
+                primary_demand=zero,
+                opportunistic_demand=zero,
+                served_demand=zero,
+                unused=committed,
+            )
+
         cap_arr = self.capacity.as_array()
-        primaries = [p for p in self.placements if not p.opportunistic]
-        opportunists = [p for p in self.placements if p.opportunistic]
+        demands = np.empty((n, NUM_RESOURCES))
+        caps = np.empty((n, NUM_RESOURCES))
+        opp = np.zeros(n, dtype=bool)
+        for i, p in enumerate(placements):
+            demands[i] = p.job.demand_array()
+            caps[i] = p.effective_cap_array()
+            opp[i] = p.opportunistic
+        prim = ~opp
+        grants = np.minimum(demands, caps)
 
         # --- primaries ---------------------------------------------------
-        primary_demand = np.zeros(NUM_RESOURCES)
-        primary_granted = np.zeros(NUM_RESOURCES)
-        grants: list[tuple[Placement, ResourceVector]] = []
-        for p in primaries:
-            d = p.job.demand().as_array()
-            cap = p.effective_cap().as_array()
-            g = np.minimum(d, cap)
-            primary_demand += d
-            grants.append((p, ResourceVector(g)))
-            primary_granted += g
+        primary_demand = demands[prim].sum(axis=0)
+        primary_granted = grants[prim].sum(axis=0)
         # Physical sanity: primaries cannot collectively exceed capacity.
         over = primary_granted > cap_arr + 1e-9
         if over.any():
             scale = np.ones(NUM_RESOURCES)
             scale[over] = cap_arr[over] / primary_granted[over]
-            grants = [
-                (p, ResourceVector(g.as_array() * scale)) for p, g in grants
-            ]
+            grants[prim] *= scale
             primary_granted = np.minimum(primary_granted, cap_arr)
 
         # --- opportunists -------------------------------------------------
-        remaining = np.maximum(cap_arr - primary_granted, 0.0)
-        opp_demand = np.zeros(NUM_RESOURCES)
-        for p in opportunists:
-            opp_demand += p.job.demand().as_array()
-        if opportunists:
+        opp_demand = demands[opp].sum(axis=0)
+        if opp.any():
+            remaining = np.maximum(cap_arr - primary_granted, 0.0)
             scale = np.ones(NUM_RESOURCES)
             tight = opp_demand > remaining + 1e-12
             scale[tight] = np.where(
                 opp_demand[tight] > 0, remaining[tight] / opp_demand[tight], 0.0
             )
-            for p in opportunists:
-                d = p.job.demand().as_array()
-                cap = p.effective_cap().as_array()
-                g = np.minimum(d * scale, cap)
-                grants.append((p, ResourceVector(g)))
+            grants[opp] = np.minimum(demands[opp] * scale, caps[opp])
 
         # --- advance ------------------------------------------------------
-        served = np.zeros(NUM_RESOURCES)
-        for p, granted in grants:
-            rate = p.job.compute_rate(granted)
-            served += np.minimum(granted.as_array(), p.job.demand().as_array())
-            p.job.advance(rate, slot)
+        # Execution rate: min over demanded resources of granted/demand,
+        # clipped to [0, 1]; a job with no current demand runs at full
+        # speed (rows with no demanded resource reduce over +inf).
+        needed = demands > 1e-12
+        ratios = np.where(needed, grants / np.where(needed, demands, 1.0), np.inf)
+        rates = np.clip(ratios.min(axis=1), 0.0, 1.0)
+        served = np.minimum(grants, demands).sum(axis=0)
+        for i, p in enumerate(placements):
+            p.job.advance(rates[i], slot)
 
-        unused = (committed - ResourceVector(primary_demand)).clip_nonnegative()
-        self._unused_history.append(unused.as_array().copy())
+        unused = np.maximum(self._committed - primary_demand, 0.0)
+        self._unused_history.append(unused)
         self._demand_history.append(primary_demand + opp_demand)
         return SlotOutcome(
             committed=committed,
-            primary_demand=ResourceVector(primary_demand),
-            opportunistic_demand=ResourceVector(opp_demand),
-            served_demand=ResourceVector(served),
-            unused=unused,
+            primary_demand=ResourceVector._wrap(primary_demand),
+            opportunistic_demand=ResourceVector._wrap(opp_demand),
+            served_demand=ResourceVector._wrap(served),
+            unused=ResourceVector._wrap(unused),
         )
 
     # ------------------------------------------------------------------
     # histories (predictor inputs)
     # ------------------------------------------------------------------
     def unused_history(self, last: int | None = None) -> np.ndarray:
-        """Per-slot actual unused resource, ``(n, l)`` array."""
-        hist = self._unused_history[-last:] if last else self._unused_history
+        """Per-slot actual unused resource, ``(n, l)`` array.
+
+        ``last=k`` returns the most recent ``k`` rows; ``last=0`` is an
+        empty window, not the full history (``0`` is falsy, so a
+        truthiness check here would silently return everything).
+        """
+        hist = (
+            self._unused_history[-last:] if last is not None and last > 0
+            else self._unused_history if last is None
+            else []
+        )
         if not hist:
             return np.zeros((0, NUM_RESOURCES))
         return np.asarray(hist)
 
     def demand_history(self, last: int | None = None) -> np.ndarray:
-        """Per-slot total demand served on this VM, ``(n, l)`` array."""
-        hist = self._demand_history[-last:] if last else self._demand_history
+        """Per-slot total demand served on this VM, ``(n, l)`` array.
+
+        Window semantics match :meth:`unused_history` (``last=0`` is an
+        empty window).
+        """
+        hist = (
+            self._demand_history[-last:] if last is not None and last > 0
+            else self._demand_history if last is None
+            else []
+        )
         if not hist:
             return np.zeros((0, NUM_RESOURCES))
         return np.asarray(hist)

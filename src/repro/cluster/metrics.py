@@ -105,6 +105,15 @@ class MetricsRecorder:
         self._demand.append(demand.as_array().copy())
         self._committed.append(committed.as_array().copy())
 
+    def record_arrays(self, demand: np.ndarray, committed: np.ndarray) -> None:
+        """Hot-path variant of :meth:`record` that *adopts* the arrays.
+
+        The caller hands over ownership of freshly computed buffers, so
+        no defensive copy is taken.
+        """
+        self._demand.append(demand)
+        self._committed.append(committed)
+
     # ------------------------------------------------------------------
     @property
     def n_slots(self) -> int:

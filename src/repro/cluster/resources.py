@@ -44,8 +44,11 @@ NUM_RESOURCES: int = len(ResourceKind)
 
 #: Weights :math:`\omega_j` for the overall utilization / wastage
 #: (Eq. 2 / Eq. 4).  The paper sets CPU/MEM/storage to 0.4/0.4/0.2 because
-#: "storage is not the bottleneck resource" (Section IV-A).
+#: "storage is not the bottleneck resource" (Section IV-A).  The array is
+#: read-only: it is shared as a default argument across every metrics
+#: call, so an in-place mutation would silently corrupt all later calls.
 DEFAULT_WEIGHTS: np.ndarray = np.array([0.4, 0.4, 0.2], dtype=np.float64)
+DEFAULT_WEIGHTS.setflags(write=False)
 
 
 class ResourceVector:
@@ -62,7 +65,7 @@ class ResourceVector:
         :class:`ResourceKind`.
     """
 
-    __slots__ = ("_v",)
+    __slots__ = ("_v", "_t")
 
     def __init__(self, values: Sequence[float] | np.ndarray) -> None:
         v = np.asarray(values, dtype=np.float64)
@@ -73,6 +76,30 @@ class ResourceVector:
         v = v.copy()
         v.setflags(write=False)
         self._v = v
+        self._t: tuple[float, ...] | None = None
+
+    @classmethod
+    def _wrap(cls, values: np.ndarray) -> "ResourceVector":
+        """Adopt a freshly computed float64 array without copy/validation.
+
+        Internal fast path for arithmetic results and other arrays this
+        class just produced (or immutable views): the caller guarantees
+        shape ``(NUM_RESOURCES,)`` float64 and exclusive/immutable
+        ownership, so the public constructor's copy is unnecessary.
+        """
+        self = cls.__new__(cls)
+        values.setflags(write=False)
+        self._v = values
+        self._t = None
+        return self
+
+    def _tuple(self) -> tuple[float, ...]:
+        """Cached plain-float view; comparisons on ``l``-length vectors
+        are much faster on Python floats than through NumPy reductions."""
+        t = self._t
+        if t is None:
+            t = self._t = tuple(self._v.tolist())
+        return t
 
     # ------------------------------------------------------------------
     # constructors
@@ -80,12 +107,12 @@ class ResourceVector:
     @classmethod
     def zeros(cls) -> "ResourceVector":
         """All-zero vector."""
-        return cls(np.zeros(NUM_RESOURCES))
+        return cls._wrap(np.zeros(NUM_RESOURCES))
 
     @classmethod
     def full(cls, value: float) -> "ResourceVector":
         """Vector with every component equal to ``value``."""
-        return cls(np.full(NUM_RESOURCES, float(value)))
+        return cls._wrap(np.full(NUM_RESOURCES, float(value)))
 
     @classmethod
     def of(cls, cpu: float = 0.0, mem: float = 0.0, storage: float = 0.0) -> "ResourceVector":
@@ -132,26 +159,26 @@ class ResourceVector:
         return np.float64(other)
 
     def __add__(self, other: "ResourceVector | float") -> "ResourceVector":
-        return ResourceVector(self._v + self._coerce(other))
+        return ResourceVector._wrap(self._v + self._coerce(other))
 
     __radd__ = __add__
 
     def __sub__(self, other: "ResourceVector | float") -> "ResourceVector":
-        return ResourceVector(self._v - self._coerce(other))
+        return ResourceVector._wrap(self._v - self._coerce(other))
 
     def __rsub__(self, other: "ResourceVector | float") -> "ResourceVector":
-        return ResourceVector(self._coerce(other) - self._v)
+        return ResourceVector._wrap(self._coerce(other) - self._v)
 
     def __mul__(self, other: "ResourceVector | float") -> "ResourceVector":
-        return ResourceVector(self._v * self._coerce(other))
+        return ResourceVector._wrap(self._v * self._coerce(other))
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: "ResourceVector | float") -> "ResourceVector":
-        return ResourceVector(self._v / self._coerce(other))
+        return ResourceVector._wrap(self._v / self._coerce(other))
 
     def __neg__(self) -> "ResourceVector":
-        return ResourceVector(-self._v)
+        return ResourceVector._wrap(-self._v)
 
     # ------------------------------------------------------------------
     # comparisons / predicates
@@ -168,32 +195,46 @@ class ResourceVector:
         """True iff every component is ``<=`` the capacity's (within atol).
 
         This is the feasibility test used when choosing a VM for a job
-        entity (Section III-B).
+        entity (Section III-B).  It sits on the scheduler's hottest path
+        (tens of thousands of calls per run), hence the plain-float loop
+        instead of a NumPy reduction.
         """
-        return bool(np.all(self._v <= capacity._v + atol))
+        cap = capacity._t
+        if cap is None:
+            cap = capacity._tuple()
+        for a, b in zip(self._tuple(), cap):
+            if a > b + atol:
+                return False
+        return True
 
     def is_nonnegative(self, *, atol: float = 1e-9) -> bool:
         """True iff every component is ``>= -atol``."""
-        return bool(np.all(self._v >= -atol))
+        for a in self._tuple():
+            if a < -atol:
+                return False
+        return True
 
     def any_positive(self, *, atol: float = 1e-9) -> bool:
         """True iff at least one component exceeds ``atol``."""
-        return bool(np.any(self._v > atol))
+        for a in self._tuple():
+            if a > atol:
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # elementwise helpers
     # ------------------------------------------------------------------
     def clip_nonnegative(self) -> "ResourceVector":
         """Elementwise ``max(x, 0)``."""
-        return ResourceVector(np.maximum(self._v, 0.0))
+        return ResourceVector._wrap(np.maximum(self._v, 0.0))
 
     def minimum(self, other: "ResourceVector") -> "ResourceVector":
         """Elementwise minimum."""
-        return ResourceVector(np.minimum(self._v, other._v))
+        return ResourceVector._wrap(np.minimum(self._v, other._v))
 
     def maximum(self, other: "ResourceVector") -> "ResourceVector":
         """Elementwise maximum."""
-        return ResourceVector(np.maximum(self._v, other._v))
+        return ResourceVector._wrap(np.maximum(self._v, other._v))
 
     def total(self) -> float:
         """Sum of all components."""
@@ -226,7 +267,7 @@ class ResourceVector:
         out = np.zeros(NUM_RESOURCES)
         nz = reference._v > 0
         out[nz] = self._v[nz] / reference._v[nz]
-        return ResourceVector(out)
+        return ResourceVector._wrap(out)
 
     # ------------------------------------------------------------------
     # aggregation over collections
@@ -237,7 +278,7 @@ class ResourceVector:
         acc = np.zeros(NUM_RESOURCES)
         for vec in vectors:
             acc += vec._v
-        return ResourceVector(acc)
+        return ResourceVector._wrap(acc)
 
     @staticmethod
     def elementwise_max(vectors: Iterable["ResourceVector"]) -> "ResourceVector":
@@ -245,7 +286,7 @@ class ResourceVector:
         acc = np.zeros(NUM_RESOURCES)
         for vec in vectors:
             np.maximum(acc, vec._v, out=acc)
-        return ResourceVector(acc)
+        return ResourceVector._wrap(acc)
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:

@@ -106,11 +106,15 @@ class PredictionLog:
 
         A prediction is *correct* when its error lies in ``[0, ε)`` —
         conservative and close.  The error rate is the complement.
+
+        An empty log has no defined error rate and returns ``NaN``: a
+        predictor that never predicted must not score as *perfect*
+        (``0.0``) in the Fig. 6 comparison.
         """
         if tolerance <= 0:
             raise ValueError("tolerance must be positive")
         if not self.predicted:
-            return 0.0
+            return float("nan")
         err = self.errors()
         correct = np.logical_and(err >= 0.0, err < tolerance)
         return float(1.0 - correct.mean())

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+import numpy as np
+
 from .job import Job, JobState
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a trace<->cluster import cycle
@@ -18,7 +20,7 @@ if TYPE_CHECKING:  # pragma: no cover - avoids a trace<->cluster import cycle
 from .machine import PhysicalMachine, SlotOutcome, VirtualMachine
 from .metrics import MetricsRecorder
 from .profiles import ClusterProfile
-from .resources import ResourceVector
+from .resources import NUM_RESOURCES, ResourceVector
 from .scheduler import Scheduler
 from .slo import SloSpec, SloTracker
 
@@ -106,12 +108,24 @@ class ClusterSimulator:
         self.rejected: list[Job] = []
         self.completed: list[Job] = []
         self.current_slot: int = 0
+        self._max_capacity_cache: tuple[tuple[int, ...], ResourceVector] | None = None
         scheduler.bind(self)
 
     # ------------------------------------------------------------------
     def max_vm_capacity(self) -> ResourceVector:
-        """Elementwise max capacity across VMs (the ``C'`` of Eq. 22)."""
-        return ResourceVector.elementwise_max(vm.capacity for vm in self.vms)
+        """Elementwise max capacity across VMs (the ``C'`` of Eq. 22).
+
+        Memoized: the simulator consults it for every arriving job but
+        the VM set only changes if the cluster is reconfigured, so the
+        cache is keyed on the VM identities and rebuilt only then.
+        """
+        key = tuple(id(vm) for vm in self.vms)
+        cached = self._max_capacity_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        value = ResourceVector.elementwise_max(vm.capacity for vm in self.vms)
+        self._max_capacity_cache = (key, value)
+        return value
 
     def _admit(self, job: Job) -> bool:
         """Reject jobs no VM could ever host (prevents starved queues)."""
@@ -141,6 +155,14 @@ class ClusterSimulator:
 
         slot = 0
         while slot < cfg.max_slots:
+            # Stop once all arrivals happened (arrival slots are
+            # 0..n_slots-1) and either draining is off or nothing is
+            # left in flight.  Checking *before* executing means a run
+            # never spends a guaranteed-empty trailing slot.
+            if slot >= workload.n_slots and (
+                not cfg.drain or (not self.pending and not self.running)
+            ):
+                break
             self.current_slot = slot
             # 1. arrivals
             for record in workload.arrivals_at(slot):
@@ -160,16 +182,17 @@ class ClusterSimulator:
                 self.pending = [j for j in self.pending if j.job_id not in placed_ids]
                 self.running.extend(placed)
 
-            # 3. execute the slot on every VM
+            # 3. execute the slot on every VM (accumulated as flat
+            # arrays — per-VM ResourceVector sums dominated this loop)
             outcomes: dict[int, SlotOutcome] = {}
-            total_demand = ResourceVector.zeros()
-            total_committed = ResourceVector.zeros()
+            total_demand = np.zeros(NUM_RESOURCES)
+            total_committed = np.zeros(NUM_RESOURCES)
             for vm in self.vms:
                 outcome = vm.execute_slot(slot)
                 outcomes[vm.vm_id] = outcome
-                total_demand = total_demand + outcome.served_demand
-                total_committed = total_committed + outcome.committed
-            self.metrics.record(total_demand, total_committed)
+                total_demand += outcome.served_demand.as_array()
+                total_committed += outcome.committed.as_array()
+            self.metrics.record_arrays(total_demand, total_committed)
 
             # 4. completions
             for vm in self.vms:
@@ -182,16 +205,16 @@ class ClusterSimulator:
             self.scheduler.on_slot_end(slot, outcomes)
 
             slot += 1
-            past_arrivals = slot > workload.n_slots
-            nothing_left = not self.pending and not self.running
-            if past_arrivals and (nothing_left or not cfg.drain):
-                break
 
+        # An empty prediction log has no error rate (it is NaN, not a
+        # perfect 0.0) — report None so summaries omit the metric.
         error_rate = None
         if len(self.scheduler.prediction_log) > 0:
             error_rate = self.scheduler.prediction_log.error_rate(
                 tolerance=getattr(self.scheduler, "error_tolerance", 0.75)
             )
+            if np.isnan(error_rate):  # pragma: no cover - defensive
+                error_rate = None
         return SimulationResult(
             scheduler_name=self.scheduler.name,
             metrics=self.metrics,

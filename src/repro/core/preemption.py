@@ -72,10 +72,12 @@ class PreemptionGate:
         estimator meeting its nominal coverage would still fail a strict
         comparison about half the time purely from sampling noise.
         """
-        p = self.probability(kind)
         n = self.trackers[int(kind)].n_samples
         if n == 0:
+            # No evidence yet: probability_within is NaN and the gate
+            # stays locked (the conservative default).
             return False
+        p = self.probability(kind)
         standard_error = float(np.sqrt(max(p * (1.0 - p), 1e-12) / n))
         return p + standard_error >= self.probability_threshold
 

@@ -1,0 +1,261 @@
+"""End-to-end sweep benchmark: baseline vs optimized hot path.
+
+Measures the full experiment sweep (all four schedulers on both testbed
+profiles) twice on the current machine:
+
+* **baseline** — the pre-optimization behaviour, reproduced live with
+  the verbatim reference implementations from
+  :mod:`repro.cluster._legacy` (per-placement ``execute_slot``, uncached
+  ``max_vm_capacity``) and a fresh :class:`PredictorCache` per sweep
+  point (the old object-identity cache key meant every point refitted
+  CORP's DNN/HMM stack);
+* **optimized** — the current code: vectorized slot execution, memoized
+  capacity, one shared content-keyed predictor fit, and optionally the
+  process-parallel runner (``workers >= 2``).
+
+Both numbers land in ``BENCH_runtime.json`` so the speedup claim is
+always re-derivable on the machine that made it.  A correctness gate
+compares the two sweeps' summaries before any timing is trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import time
+from contextlib import contextmanager
+from typing import Iterable, Mapping, Sequence
+
+from ..cluster import _legacy
+from ..cluster.job import Job
+from ..cluster.machine import VirtualMachine
+from ..cluster.resources import ResourceVector
+from ..cluster.simulator import ClusterSimulator
+from ..forecast.padding import AdaptivePadding
+from .runner import PredictorCache, run_methods, run_specs, sweep_specs
+from .scenarios import JOB_COUNTS, Scenario, cluster_scenario, ec2_scenario
+
+__all__ = [
+    "QUICK_COUNTS",
+    "PRE_PR_REFERENCE",
+    "legacy_mode",
+    "sweep_scenarios",
+    "run_benchmark",
+    "write_benchmark",
+]
+
+#: Job counts of the abbreviated (CI smoke) sweep.
+QUICK_COUNTS: tuple[int, ...] = (50, 150)
+
+#: Wall-clock seconds of the same sweeps measured on the unmodified
+#: code (the commit this optimization started from), for provenance.
+#: The live baseline below is the number the speedup is computed from;
+#: this record just documents what the original code did on the
+#: development machine.
+PRE_PR_REFERENCE: Mapping[str, object] = {
+    "quick_s": 13.43,
+    "full_s": 46.99,
+    "machine": "x86_64, 1 core",
+    "note": (
+        "measured on the pre-optimization code; the 'baseline' entry is "
+        "re-measured live via the legacy shim on the current machine"
+    ),
+}
+
+
+#: (class, attribute, pre-optimization implementation) triples the
+#: legacy shim swaps in.  Together these restore the original hot path:
+#: per-placement slot execution, uncached capacity aggregation, fresh
+#: vectors on every ``demand``/``committed``/``unallocated`` call,
+#: numpy reductions for the per-call predicates, and numpy percentiles
+#: in the padding trackers.
+_LEGACY_PATCHES: tuple[tuple[type, str, object], ...] = (
+    (VirtualMachine, "execute_slot", _legacy.legacy_execute_slot),
+    (VirtualMachine, "committed", _legacy.legacy_committed),
+    (VirtualMachine, "unallocated", _legacy.legacy_unallocated),
+    (
+        ClusterSimulator,
+        "max_vm_capacity",
+        lambda self: _legacy.legacy_max_vm_capacity(self.vms),
+    ),
+    (ResourceVector, "fits_within", _legacy.legacy_fits_within),
+    (ResourceVector, "is_nonnegative", _legacy.legacy_is_nonnegative),
+    (ResourceVector, "any_positive", _legacy.legacy_any_positive),
+    (Job, "demand", _legacy.legacy_job_demand),
+    (AdaptivePadding, "burst_pad", _legacy.legacy_burst_pad),
+    (AdaptivePadding, "error_pad", _legacy.legacy_error_pad),
+)
+
+
+@contextmanager
+def legacy_mode():
+    """Temporarily restore the pre-optimization cluster hot path.
+
+    Swaps in the verbatim pre-optimization method bodies from
+    :mod:`repro.cluster._legacy` so the baseline can be *measured* on
+    the current machine rather than quoted from a stale record.
+    """
+    originals = [
+        (cls, name, cls.__dict__[name]) for cls, name, _ in _LEGACY_PATCHES
+    ]
+    for cls, name, impl in _LEGACY_PATCHES:
+        setattr(cls, name, impl)
+    try:
+        yield
+    finally:
+        for cls, name, impl in originals:
+            setattr(cls, name, impl)
+
+
+def sweep_scenarios(counts: Iterable[int], seed: int = 7) -> list[Scenario]:
+    """Both testbed profiles crossed with the requested job counts."""
+    return [
+        builder(n, seed=seed)
+        for builder in (cluster_scenario, ec2_scenario)
+        for n in counts
+    ]
+
+
+def _summaries(results) -> list[dict[str, float]]:
+    out = []
+    for r in results:
+        s = r.summary()
+        s.pop("allocation_latency_s")  # wall-clock; never comparable
+        out.append(s)
+    return out
+
+
+def _run_baseline(counts: Sequence[int], seed: int) -> tuple[float, list[dict]]:
+    """Pre-PR sweep: legacy hot path, one predictor refit per point."""
+    summaries: list[dict[str, float]] = []
+    with legacy_mode():
+        t0 = time.perf_counter()
+        for scenario in sweep_scenarios(counts, seed=seed):
+            results = run_methods(scenario, cache=PredictorCache(), seed=seed)
+            summaries.extend(_summaries(results.values()))
+        elapsed = time.perf_counter() - t0
+    return elapsed, summaries
+
+
+def _run_optimized(
+    counts: Sequence[int], seed: int, workers: int
+) -> tuple[float, list[dict]]:
+    """Current sweep: vectorized path, shared fit, optional workers."""
+    specs = sweep_specs(sweep_scenarios(counts, seed=seed), seed=seed)
+    t0 = time.perf_counter()
+    results = run_specs(specs, workers=workers, cache=PredictorCache())
+    elapsed = time.perf_counter() - t0
+    return elapsed, _summaries(results)
+
+
+def _check_identity(
+    baseline: list[dict], optimized: list[dict], rtol: float = 1e-9
+) -> None:
+    """The optimized sweep must reproduce the baseline's numbers."""
+    if len(baseline) != len(optimized):
+        raise AssertionError(
+            f"sweep sizes differ: {len(baseline)} vs {len(optimized)}"
+        )
+    for i, (b, o) in enumerate(zip(baseline, optimized)):
+        if set(b) != set(o):
+            raise AssertionError(f"run {i}: summary keys differ: {b} vs {o}")
+        for key, bv in b.items():
+            ov = o[key]
+            if not math.isclose(bv, ov, rel_tol=rtol, abs_tol=1e-12):
+                raise AssertionError(
+                    f"run {i}: {key} diverged: baseline {bv!r} vs "
+                    f"optimized {ov!r}"
+                )
+
+
+#: Required baseline/optimized ratios.  The full sweep must be at least
+#: 3x faster.  The quick sweep amortizes the single remaining offline
+#: fit over only four points (the baseline refits four times, the
+#: optimized path once and that one fit is most of its runtime), so its
+#: achievable ratio is structurally lower — it gets a 2x smoke floor.
+MIN_SPEEDUP_FULL: float = 3.0
+MIN_SPEEDUP_QUICK: float = 2.0
+
+
+def run_benchmark(
+    *,
+    quick: bool = False,
+    workers: int = 0,
+    seed: int = 7,
+    min_speedup: float | None = None,
+) -> dict:
+    """Time baseline and optimized sweeps; return the report dict.
+
+    Raises :class:`AssertionError` if the optimized sweep's summaries
+    deviate from the baseline's, or if the speedup falls below
+    ``min_speedup`` (default: 3x for the full sweep, 2x for the quick
+    smoke; pass ``float("-inf")`` to disable the floor entirely).
+    """
+    if min_speedup is None:
+        min_speedup = MIN_SPEEDUP_QUICK if quick else MIN_SPEEDUP_FULL
+    counts = QUICK_COUNTS if quick else JOB_COUNTS
+    baseline_s, baseline_summaries = _run_baseline(counts, seed)
+    optimized_s, optimized_summaries = _run_optimized(counts, seed, workers)
+    _check_identity(baseline_summaries, optimized_summaries)
+    speedup = baseline_s / optimized_s
+    report = {
+        "benchmark": "experiment sweep: 4 schedulers x 2 profiles",
+        "mode": "quick" if quick else "full",
+        "job_counts": list(counts),
+        "seed": seed,
+        "n_runs": len(baseline_summaries),
+        "baseline": {
+            "seconds": round(baseline_s, 3),
+            "how": (
+                "measured live with the legacy shim: per-placement "
+                "execute_slot, uncached max_vm_capacity, fresh predictor "
+                "cache per sweep point (one DNN/HMM refit each)"
+            ),
+        },
+        "optimized": {
+            "seconds": round(optimized_s, 3),
+            "workers": workers,
+            "how": (
+                "vectorized execute_slot, memoized max_vm_capacity, one "
+                "content-keyed predictor fit shared across the sweep"
+                + (", process-parallel runner" if workers >= 2 else "")
+            ),
+        },
+        "speedup": round(speedup, 2),
+        "min_speedup": min_speedup,
+        "identity_check": "passed",
+        "machine": platform.machine(),
+        "pre_pr_reference": dict(PRE_PR_REFERENCE),
+    }
+    if speedup < min_speedup:
+        error = AssertionError(
+            f"speedup {speedup:.2f}x below the required "
+            f"{min_speedup:.1f}x (report: {json.dumps(report, indent=2)})"
+        )
+        error.report = report
+        raise error
+    return report
+
+
+def write_benchmark(path: str, **kwargs) -> dict:
+    """Run the benchmark and write the JSON report to ``path``.
+
+    The report is written even when the speedup floor fails (the
+    numbers are the evidence either way) before the error propagates.
+    """
+    try:
+        report = run_benchmark(**kwargs)
+    except AssertionError as exc:
+        report = getattr(exc, "report", None)
+        if report is not None:
+            _dump(path, report)
+        raise
+    _dump(path, report)
+    return report
+
+
+def _dump(path: str, report: dict) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")

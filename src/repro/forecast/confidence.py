@@ -129,12 +129,16 @@ class PredictionErrorTracker:
     def probability_within(self, tolerance: float) -> float:
         """Empirical ``Pr(0 ≤ δ < ε)`` over the error window (Eq. 21 input).
 
-        With no samples yet, returns 0 — an unlocked-by-default stance
-        would risk SLO violations before any evidence exists.
+        With no samples yet, the probability is undefined and ``NaN`` is
+        returned — reporting ``0.0`` would make an untested predictor
+        look *measured and unreliable* rather than unmeasured.  Callers
+        gating on it (:class:`repro.core.preemption.PreemptionGate`)
+        check ``n_samples`` first and stay locked, which preserves the
+        conservative no-evidence stance.
         """
         if tolerance <= 0:
             raise ValueError("tolerance must be positive")
         if not self._errors:
-            return 0.0
+            return float("nan")
         e = np.asarray(self._errors)
         return float(np.logical_and(e >= 0.0, e < tolerance).mean())

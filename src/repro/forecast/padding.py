@@ -10,11 +10,34 @@ avoid under-provisioning on bursts.
 
 from __future__ import annotations
 
+import math
 from collections import deque
-
-import numpy as np
+from typing import Sequence
 
 __all__ = ["AdaptivePadding"]
+
+
+def _small_percentile(values: Sequence[float], pct: float) -> float:
+    """``np.percentile(values, pct)`` (linear method) for tiny inputs.
+
+    The trackers hold at most ``window`` (~30) samples, and numpy's
+    dispatch overhead dominates its cost at that size — this sorted-list
+    interpolation mirrors numpy's "linear" method (including the
+    ``gamma >= 0.5`` lerp branch it uses for numerical accuracy) at a
+    fraction of the per-call cost.
+    """
+    s = sorted(values)
+    n = len(s)
+    if n == 1:
+        return s[0]
+    rank = (pct / 100.0) * (n - 1)
+    lo = int(rank)
+    if lo >= n - 1:
+        return s[-1]
+    gamma = rank - lo
+    a, b = s[lo], s[lo + 1]
+    diff = b - a
+    return b - diff * (1.0 - gamma) if gamma >= 0.5 else a + diff * gamma
 
 
 class AdaptivePadding:
@@ -60,14 +83,15 @@ class AdaptivePadding:
         """High-percentile excess of recent usage over its mean."""
         if len(self._usage) < 2:
             return 0.0
-        u = np.asarray(self._usage)
-        return float(max(np.percentile(u, self.percentile) - u.mean(), 0.0))
+        u = list(self._usage)
+        mean = math.fsum(u) / len(u)
+        return max(_small_percentile(u, self.percentile) - mean, 0.0)
 
     def error_pad(self) -> float:
         """High percentile of recent under-prediction magnitudes."""
         if not self._under_errors:
             return 0.0
-        return float(np.percentile(np.asarray(self._under_errors), self.percentile))
+        return _small_percentile(list(self._under_errors), self.percentile)
 
     def pad(self) -> float:
         """The padding applied on top of a demand prediction (>= 0).

@@ -10,6 +10,7 @@ actually *used* at each sampling interval.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 
@@ -179,3 +180,34 @@ class Trace:
         if not self._records:
             return np.zeros((0, NUM_RESOURCES))
         return np.vstack([r.unused_series() for r in self._records])
+
+    def content_digest(self) -> str:
+        """Stable hex digest of the trace's full content.
+
+        Two traces with identical records hash identically even when
+        they are distinct objects — sweeps regenerate the same seeded
+        history trace at every point, and caches keyed on object
+        identity would refit the predictor each time.  Records are
+        immutable, so the digest is computed once and memoized.
+        """
+        cached = getattr(self, "_digest", None)
+        if cached is not None:
+            return cached
+        h = hashlib.sha256()
+        for r in self._records:
+            h.update(
+                repr(
+                    (
+                        r.task_id,
+                        r.submit_time_s,
+                        r.duration_s,
+                        r.sample_period_s,
+                        r.is_short,
+                        tuple(r.requested.as_array()),
+                    )
+                ).encode()
+            )
+            h.update(r.usage.tobytes())
+        digest = h.hexdigest()
+        self._digest = digest
+        return digest

@@ -28,8 +28,9 @@ class Workload:
     arrivals:
         Mapping from slot index to the records submitted in that slot.
     n_slots:
-        Number of slots until the last arrival (inclusive); the
-        simulation typically runs longer to drain the queue.
+        Number of arrival slots: arrivals occur at slots
+        ``0..n_slots-1`` (zero for an empty trace).  The simulation
+        typically runs longer to drain the queue.
     """
 
     slot_duration_s: float
@@ -50,8 +51,8 @@ class Workload:
             yield slot, self.arrivals[slot]
 
     def arrival_counts(self) -> np.ndarray:
-        """Array of per-slot arrival counts, length ``n_slots + 1``."""
-        counts = np.zeros(self.n_slots + 1, dtype=np.int64)
+        """Array of per-slot arrival counts, length ``n_slots``."""
+        counts = np.zeros(self.n_slots, dtype=np.int64)
         for slot, recs in self.arrivals.items():
             counts[slot] = len(recs)
         return counts
@@ -77,7 +78,11 @@ def build_workload(trace: Trace, slot_duration_s: float = 10.0) -> Workload:
         slot = int(record.submit_time_s // slot_duration_s)
         buckets.setdefault(slot, []).append(record)
     frozen = {slot: tuple(records) for slot, records in buckets.items()}
-    n_slots = max(frozen) if frozen else 0
+    # Count semantics: the last arrival at slot index m means m + 1
+    # arrival slots (0..m).  The previous ``max(frozen)`` was off by one
+    # against the documented meaning, and the simulator compensated with
+    # a strict ``>`` — keep the two in sync (see ClusterSimulator.run).
+    n_slots = max(frozen) + 1 if frozen else 0
     return Workload(
         slot_duration_s=slot_duration_s, arrivals=frozen, n_slots=n_slots
     )

@@ -164,6 +164,19 @@ class TestSlotExecution:
         assert vm.unused_history().shape == (0, 3)
         assert vm.demand_history().shape == (0, 3)
 
+    def test_history_last_zero_is_empty_window(self):
+        # Regression: ``last=0`` used to fall through the truthiness
+        # check and return the FULL history instead of an empty window.
+        vm = make_vm()
+        place(vm, running_job(request=(8, 8, 8), util=np.full(6, 0.5)))
+        vm.execute_slot(0)
+        vm.execute_slot(1)
+        assert vm.unused_history(last=0).shape == (0, 3)
+        assert vm.demand_history(last=0).shape == (0, 3)
+        # ``last=None`` (the default) still means "everything".
+        assert vm.unused_history(last=None).shape == (2, 3)
+        assert vm.demand_history(last=None).shape == (2, 3)
+
     def test_remove_completed(self):
         vm = make_vm()
         job = running_job(duration_s=10)  # one slot

@@ -12,7 +12,7 @@ from repro.cluster.metrics import (
     utilization,
     wastage,
 )
-from repro.cluster.resources import ResourceKind, ResourceVector
+from repro.cluster.resources import DEFAULT_WEIGHTS, ResourceKind, ResourceVector
 
 pos = st.floats(min_value=0.01, max_value=1e4, allow_nan=False)
 vectors = st.builds(lambda a, b, c: ResourceVector([a, b, c]), pos, pos, pos)
@@ -81,6 +81,32 @@ class TestPointMetrics:
         assert overall_wastage(committed, committed) == pytest.approx(0.0)
 
 
+class TestDefaultWeights:
+    def test_default_weights_are_read_only(self):
+        # Regression: the module-level weights array is the shared
+        # default argument of overall_utilization/overall_wastage; an
+        # in-place mutation would silently skew every later call.
+        with pytest.raises(ValueError):
+            DEFAULT_WEIGHTS[0] = 0.9
+        np.testing.assert_allclose(DEFAULT_WEIGHTS, [0.4, 0.4, 0.2])
+
+    def test_caller_mutation_cannot_leak_into_defaults(self):
+        # A caller normalizing or scaling "the" weights must not be able
+        # to change what a later default-weight call computes.
+        u = ResourceVector([1, 1, 1])
+        c = ResourceVector([2, 2, 2])
+        before = overall_utilization(u, c)
+        weights = DEFAULT_WEIGHTS
+        with pytest.raises(ValueError):
+            weights *= 2.0
+        assert overall_utilization(u, c) == before
+
+    def test_recorder_weights_stay_independent(self):
+        rec = MetricsRecorder()
+        rec.weights[:] = [1.0, 0.0, 0.0]  # per-recorder copy is writable
+        np.testing.assert_allclose(DEFAULT_WEIGHTS, [0.4, 0.4, 0.2])
+
+
 class TestRecorder:
     def test_empty(self):
         rec = MetricsRecorder()
@@ -137,6 +163,17 @@ class TestRecorder:
             rec.record(ResourceVector([1, 1, 1]), ResourceVector([2, 2, 2]))
         assert rec.per_slot_utilization().shape == (5, 3)
         assert rec.per_slot_overall().shape == (5,)
+
+    def test_record_arrays_matches_record(self):
+        # The array-based fast path the simulator uses must agree with
+        # the ResourceVector entry point exactly.
+        a, b = MetricsRecorder(), MetricsRecorder()
+        a.record(ResourceVector([1, 2, 3]), ResourceVector([4, 4, 4]))
+        b.record_arrays(np.array([1.0, 2.0, 3.0]), np.array([4.0, 4.0, 4.0]))
+        np.testing.assert_array_equal(
+            a.per_slot_utilization(), b.per_slot_utilization()
+        )
+        np.testing.assert_array_equal(a.per_slot_overall(), b.per_slot_overall())
 
     def test_recorder_copies_inputs(self):
         rec = MetricsRecorder()

@@ -55,7 +55,8 @@ class TestPredictionLog:
     def test_empty(self):
         log = PredictionLog()
         assert len(log) == 0
-        assert log.error_rate(0.5) == 0.0
+        # No observations means the rate is undefined, not perfect.
+        assert np.isnan(log.error_rate(0.5))
         assert log.rmse() == 0.0
 
     def test_errors_direction(self):

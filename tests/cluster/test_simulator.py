@@ -92,6 +92,14 @@ class TestBasicRun:
         ):
             assert key in summary
 
+    def test_empty_prediction_log_reports_no_error_rate(self, profile):
+        # The greedy scheduler never logs predictions; an empty log has
+        # an undefined (NaN) error rate, which the result must surface
+        # as "no metric", never as a perfect 0.0.
+        result = run_greedy(make_short_trace(n_jobs=5, seed=13), profile)
+        assert result.prediction_error_rate is None
+        assert "prediction_error_rate" not in result.summary()
+
     def test_deterministic_given_seeded_trace(self, profile):
         trace = make_short_trace(n_jobs=15, seed=10)
         a = run_greedy(trace, ClusterProfile.palmetto(n_pms=4, vms_per_pm=2))
@@ -164,3 +172,21 @@ class TestStopConditions:
         drained = run_greedy(trace, profile, drain=True)
         cut = run_greedy(trace, profile, drain=False)
         assert cut.n_slots <= drained.n_slots
+
+    def test_single_job_runs_exactly_nominal_slots(self, profile):
+        # Regression for the slot-loop off-by-one: one uncontended job
+        # with a 30 s nominal runtime needs exactly 3 slots — no
+        # guaranteed-empty trailing slot may execute after it drains.
+        record = make_record(request=(1.0, 1.0, 1.0), duration_s=30.0)
+        result = run_greedy(Trace([record]), profile)
+        assert result.n_completed == 1
+        assert result.n_slots == 3
+        assert result.metrics.n_slots == 3
+
+    def test_empty_trace_executes_zero_slots(self, profile):
+        # With nothing to arrive and nothing to drain, the loop must
+        # stop before executing a single slot (it used to run one).
+        result = run_greedy(Trace(), profile)
+        assert result.n_slots == 0
+        assert result.n_submitted == 0
+        assert result.metrics.n_slots == 0

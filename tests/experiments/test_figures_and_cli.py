@@ -130,3 +130,76 @@ class TestCli:
 
         with pytest.raises(SystemExit):
             main(["figure", "fig99"])
+
+    def test_bench_parser_options(self):
+        from repro.__main__ import build_parser
+
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--workers", "4", "--bench-out", "/tmp/b.json"]
+        )
+        assert args.quick and args.workers == 4
+        assert args.bench_out == "/tmp/b.json"
+        args = build_parser().parse_args(["compare", "--workers", "2"])
+        assert args.workers == 2
+
+
+class TestBenchModule:
+    def test_legacy_mode_restores_patches(self):
+        from repro.cluster.machine import VirtualMachine
+        from repro.experiments.bench import legacy_mode
+
+        original = VirtualMachine.__dict__["execute_slot"]
+        with legacy_mode():
+            assert VirtualMachine.__dict__["execute_slot"] is not original
+        assert VirtualMachine.__dict__["execute_slot"] is original
+
+    def test_legacy_mode_restores_on_error(self):
+        from repro.cluster.machine import VirtualMachine
+        from repro.experiments.bench import legacy_mode
+
+        original = VirtualMachine.__dict__["execute_slot"]
+        with pytest.raises(RuntimeError):
+            with legacy_mode():
+                raise RuntimeError("boom")
+        assert VirtualMachine.__dict__["execute_slot"] is original
+
+    def test_sweep_scenarios_cross_product(self):
+        from repro.experiments.bench import sweep_scenarios
+
+        scenarios = sweep_scenarios((50, 150), seed=7)
+        assert [s.n_jobs for s in scenarios] == [50, 150, 50, 150]
+        assert len({s.profile.name for s in scenarios}) == 2
+
+    def test_identity_check_rejects_divergence(self):
+        from repro.experiments.bench import _check_identity
+
+        good = [{"overall_utilization": 0.5}]
+        _check_identity(good, [{"overall_utilization": 0.5}])
+        with pytest.raises(AssertionError):
+            _check_identity(good, [{"overall_utilization": 0.51}])
+        with pytest.raises(AssertionError):
+            _check_identity(good, [])
+
+    def test_write_benchmark_reports_floor_failure(self, tmp_path):
+        import json
+        from unittest import mock
+
+        from repro.experiments import bench
+
+        fake = {
+            "speedup": 1.0,
+            "baseline": {"seconds": 1.0},
+            "optimized": {"seconds": 1.0},
+        }
+        out = tmp_path / "bench.json"
+
+        def fail(**kwargs):
+            error = AssertionError("too slow")
+            error.report = fake
+            raise error
+
+        with mock.patch.object(bench, "run_benchmark", side_effect=fail):
+            with pytest.raises(AssertionError):
+                bench.write_benchmark(str(out))
+        # The numbers still land on disk as evidence.
+        assert json.loads(out.read_text())["speedup"] == 1.0

@@ -6,8 +6,11 @@ from repro.cluster.profiles import ClusterProfile
 from repro.experiments.runner import (
     METHOD_ORDER,
     PredictorCache,
+    RunSpec,
     default_schedulers,
     run_methods,
+    run_specs,
+    sweep_specs,
 )
 from repro.experiments.scenarios import JOB_COUNTS, cluster_scenario, ec2_scenario
 from repro.core.config import CorpConfig
@@ -95,3 +98,54 @@ class TestRunner:
         assert set(results) == set(METHOD_ORDER)
         for result in results.values():
             assert result.all_done
+
+    def test_cache_shared_across_regenerated_histories(self, small_scenario):
+        # Sweeps regenerate the history trace at every point; identical
+        # content must hit the same cache entry (one offline fit per
+        # sweep), which an object-identity key cannot provide.
+        cache = PredictorCache()
+        cfg = CorpConfig(n_hidden_layers=1, units_per_layer=8, train_max_epochs=3)
+        a = cache.get(cfg, small_scenario.history_trace())
+        b = cache.get(cfg, small_scenario.history_trace())
+        assert a is b
+
+
+class TestRunSpecs:
+    FAST_CFG = CorpConfig(n_hidden_layers=1, units_per_layer=8, train_max_epochs=3)
+
+    def _specs(self, scenario):
+        return sweep_specs([scenario], corp_config=self.FAST_CFG, seed=5)
+
+    def test_sweep_specs_order(self, small_scenario):
+        specs = self._specs(small_scenario)
+        assert [s.method for s in specs] == list(METHOD_ORDER)
+        assert all(s.scenario is small_scenario for s in specs)
+
+    def test_serial_matches_run_methods(self, small_scenario):
+        specs = self._specs(small_scenario)
+        by_spec = run_specs(specs, cache=PredictorCache())
+        factories = default_schedulers(
+            corp_config=self.FAST_CFG,
+            history=small_scenario.history_trace(),
+            cache=PredictorCache(),
+            seed=5,
+        )
+        by_methods = run_methods(small_scenario, factories, seed=5)
+        for spec, result in zip(specs, by_spec):
+            a, b = result.summary(), by_methods[spec.method].summary()
+            a.pop("allocation_latency_s"), b.pop("allocation_latency_s")
+            assert a == b
+
+    def test_parallel_bit_identical_to_serial(self, small_scenario):
+        # The tentpole contract: fanning the same specs over worker
+        # processes must not change a single summary value (wall-clock
+        # allocation latency aside, per the determinism convention).
+        specs = self._specs(small_scenario)
+        serial = run_specs(specs, workers=0, cache=PredictorCache())
+        parallel = run_specs(specs, workers=2, cache=PredictorCache())
+        assert len(serial) == len(parallel) == len(specs)
+        for s, p in zip(serial, parallel):
+            assert s.scheduler_name == p.scheduler_name
+            ss, ps = s.summary(), p.summary()
+            ss.pop("allocation_latency_s"), ps.pop("allocation_latency_s")
+            assert ss == ps

@@ -86,7 +86,8 @@ class TestErrorTracker:
         assert tracker.probability_within(0.5) == pytest.approx(0.5)
 
     def test_probability_empty(self):
-        assert PredictionErrorTracker().probability_within(0.5) == 0.0
+        # Undefined without samples — NaN, not a confident 0.0.
+        assert np.isnan(PredictionErrorTracker().probability_within(0.5))
 
     def test_probability_bad_tolerance(self):
         with pytest.raises(ValueError):

@@ -30,8 +30,17 @@ class TestBuildWorkload:
         assert build_workload(trace, 10.0).total_jobs() == 7
 
     def test_n_slots(self):
+        # Last arrival in slot index 5 → six arrival slots (0..5).
         trace = Trace([record_at(0.0, 1), record_at(55.0, 2)])
-        assert build_workload(trace, 10.0).n_slots == 5
+        assert build_workload(trace, 10.0).n_slots == 6
+
+    def test_n_slots_counts_slots_not_max_index(self):
+        # Regression: a single job at t=0 means ONE arrival slot, not
+        # zero (n_slots used to be the max slot index, off by one
+        # against its documented count semantics).
+        wl = build_workload(Trace([record_at(0.0, 1)]), 10.0)
+        assert wl.n_slots == 1
+        assert len(wl.arrival_counts()) == 1
 
     def test_empty_trace(self):
         wl = build_workload(Trace(), 10.0)
