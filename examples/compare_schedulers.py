@@ -20,7 +20,7 @@ def main(n_jobs: int = 200) -> None:
     scenario = cluster_scenario(n_jobs=n_jobs, seed=7)
     print(f"running all four methods on {n_jobs} jobs "
           f"({scenario.profile.n_vms} VMs) ...")
-    results = run_methods(scenario)
+    results = run_methods(scenario=scenario)
 
     rows = []
     for method, result in results.items():

@@ -19,14 +19,21 @@ IEEE CLUSTER 2016), including every substrate the evaluation needs:
 * :mod:`repro.experiments` — scenario builders and one entry point per
   figure of the evaluation.
 
+* :mod:`repro.obs` — zero-dependency structured observability (events,
+  counters, timer spans) behind an attachable sink;
+* :mod:`repro.api` — the stable keyword-only facade (``compare``,
+  ``sweep``, ``run_one``, ``attach_sink``) new code should use.
+
 Quickstart::
 
-    from repro import CorpScheduler, ClusterSimulator, cluster_scenario
+    from repro import api
 
-    scenario = cluster_scenario(n_jobs=100)
-    sim = ClusterSimulator(scenario.profile, CorpScheduler(), scenario.sim_config)
-    result = sim.run(scenario.evaluation_trace(), history=scenario.history_trace())
-    print(result.summary())
+    results = api.compare(jobs=100, testbed="cluster")
+    for method, result in results.items():
+        print(method, result.summary())
+
+    with api.capture_events("events.jsonl"):
+        api.run_one(scenario=api.build_scenario(jobs=50), method="CORP")
 """
 
 from .baselines import CloudScaleScheduler, DraScheduler, RccrScheduler
@@ -69,8 +76,10 @@ from .trace import (
     remove_long_lived,
     resample_trace,
 )
+from . import api, obs
+from .api import attach_sink, capture_events, compare, detach_sink, run_one, sweep
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CloudScaleScheduler",
@@ -107,5 +116,13 @@ __all__ = [
     "build_workload",
     "remove_long_lived",
     "resample_trace",
+    "api",
+    "obs",
+    "compare",
+    "sweep",
+    "run_one",
+    "attach_sink",
+    "detach_sink",
+    "capture_events",
     "__version__",
 ]

@@ -1,46 +1,39 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
 Commands
 --------
 ``compare``   — run all four schedulers on one workload and print the
                 comparison table (a single column of the evaluation).
+``profile``   — run a profiled comparison, print the per-stage timing
+                table and counters, and write ``PROFILE_runtime.json``.
 ``figure``    — regenerate one of the paper's figures (fig06..fig14).
 ``ablations`` — run the CORP component ablations (DESIGN.md §5).
 ``mixed``     — the mixed short+long workload extension.
 ``bench``     — time the end-to-end sweep against the pre-optimization
                 baseline and write a JSON report.
 
+Experiment execution routes exclusively through :mod:`repro.api`; pass
+``--events out.jsonl`` to stream structured decision events (slots,
+placements, preemption-gate evaluations, predictor fits) to a JSONL
+file.
+
 Examples::
 
     python -m repro compare --jobs 200 --workers 4
+    python -m repro compare --jobs 50 --events /tmp/ev.jsonl
+    python -m repro profile --jobs 50
     python -m repro figure fig09 --testbed cluster
-    python -m repro ablations
     python -m repro bench --quick --bench-out BENCH_runtime.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from .experiments.ablations import run_ablations
-from .experiments.figures import (
-    fig06_prediction_error,
-    fig07_utilization,
-    fig08_utilization_vs_slo,
-    fig09_slo_vs_confidence,
-    fig10_overhead,
-)
-from .experiments.mixed import run_mixed_workload
-from .experiments.plot import save_figure_svg
+from . import __version__, api
 from .experiments.report import format_table
-from .experiments.runner import (
-    PredictorCache,
-    run_methods,
-    run_specs,
-    sweep_specs,
-)
-from .experiments.scenarios import cluster_scenario, ec2_scenario
 
 FIGURES = (
     "fig06", "fig07", "fig08", "fig09", "fig10",
@@ -48,15 +41,34 @@ FIGURES = (
 )
 
 
+def _open_events(args: argparse.Namespace) -> bool:
+    """Attach a JSONL sink when ``--events`` was given."""
+    path = getattr(args, "events", None)
+    if not path:
+        return False
+    api.attach_sink(path)
+    return True
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
-    builder = cluster_scenario if args.testbed == "cluster" else ec2_scenario
-    scenario = builder(args.jobs, seed=args.seed)
-    if args.workers >= 2:
-        specs = sweep_specs([scenario], seed=args.seed)
-        by_spec = run_specs(specs, workers=args.workers)
-        results = {s.method: r for s, r in zip(specs, by_spec)}
-    else:
-        results = run_methods(scenario, seed=args.seed)
+    workers = args.workers
+    capturing = _open_events(args)
+    if capturing and workers >= 2:
+        print(
+            "note: --events capture is process-local; running serially",
+            file=sys.stderr,
+        )
+        workers = 0
+    try:
+        results = api.compare(
+            jobs=args.jobs,
+            testbed=args.testbed,
+            seed=args.seed,
+            workers=workers,
+        )
+    finally:
+        if capturing:
+            api.detach_sink()
     rows = []
     for method, result in results.items():
         summary = result.summary()
@@ -76,11 +88,59 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             title=f"{args.jobs} jobs on the {args.testbed} profile",
         )
     )
+    if capturing:
+        print(f"\nwrote events to {args.events}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    capturing = _open_events(args)
+    try:
+        report = api.profile_run(
+            jobs=args.jobs, testbed=args.testbed, seed=args.seed
+        )
+    finally:
+        if capturing:
+            api.detach_sink()
+    stage_rows = [
+        [s["stage"], s["calls"], s["total_s"], s["mean_s"], s["share"]]
+        for s in report["stages"]
+    ]
+    print(
+        format_table(
+            ["stage", "calls", "total_s", "mean_s", "share"],
+            stage_rows,
+            title=f"per-stage wall clock ({args.jobs} jobs, {args.testbed})",
+        )
+    )
+    counters = report["counters"]
+    if counters:
+        print()
+        print(
+            format_table(
+                ["counter", "value"],
+                [[name, value] for name, value in counters.items()],
+                title="counters",
+            )
+        )
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {args.out}")
     return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    cache = PredictorCache()
+    from .experiments.figures import (
+        fig06_prediction_error,
+        fig07_utilization,
+        fig08_utilization_vs_slo,
+        fig09_slo_vs_confidence,
+        fig10_overhead,
+    )
+    from .experiments.plot import save_figure_svg
+
+    cache = api.PredictorCache()
     name = args.name
     testbed = args.testbed
     # EC2 figures are the cluster figures rerun on the EC2 profile.
@@ -133,12 +193,14 @@ def _cmd_figure(args: argparse.Namespace) -> int:
                 title=f"allocation latency, 300 jobs ({testbed})",
             )
         )
-    else:  # pragma: no cover - argparse restricts choices
-        raise ValueError(name)
+    else:
+        raise ValueError(f"unknown figure {name!r} (expected {FIGURES})")
     return 0
 
 
 def _cmd_ablations(args: argparse.Namespace) -> int:
+    from .experiments.ablations import run_ablations
+
     results = run_ablations(n_jobs=args.jobs, seed=args.seed)
     rows = [
         [
@@ -161,8 +223,6 @@ def _cmd_ablations(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    import json
-
     from .experiments.bench import write_benchmark
 
     try:
@@ -182,6 +242,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_mixed(args: argparse.Namespace) -> int:
+    from .experiments.mixed import run_mixed_workload
+
     results = run_mixed_workload(n_jobs=args.jobs, seed=args.seed)
     rows = [
         [
@@ -206,8 +268,11 @@ def _cmd_mixed(args: argparse.Namespace) -> int:
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
-        prog="python -m repro",
+        prog="repro",
         description="CORP (CLUSTER 2016) reproduction — experiment CLI",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -220,7 +285,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the four schedulers across N worker processes "
              "(0 = in-process; results are identical either way)",
     )
+    compare.add_argument(
+        "--events", metavar="PATH", default=None,
+        help="stream structured decision events (slot, placement, "
+             "preemption, predictor_fit) to a JSONL file",
+    )
     compare.set_defaults(func=_cmd_compare)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profiled comparison: per-stage timing table + counters",
+    )
+    profile.add_argument("--jobs", type=int, default=50)
+    profile.add_argument("--testbed", choices=("cluster", "ec2"), default="cluster")
+    profile.add_argument("--seed", type=int, default=7)
+    profile.add_argument(
+        "--out", default="PROFILE_runtime.json",
+        help="JSON report path (default: PROFILE_runtime.json, next to "
+             "BENCH_runtime.json)",
+    )
+    profile.add_argument(
+        "--events", metavar="PATH", default=None,
+        help="also stream decision events to a JSONL file",
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
     figure.add_argument("name", choices=FIGURES)
@@ -268,9 +356,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Expected failures (bad figure names, unwritable paths, invalid
+    parameter combinations) print one line on stderr and exit 2 instead
+    of dumping a traceback; argparse errors keep argparse's own
+    stderr-message-and-exit-2 behaviour.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ValueError, RuntimeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

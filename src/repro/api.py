@@ -1,0 +1,221 @@
+"""The stable public API facade.
+
+Everything a consumer of the reproduction needs sits behind four typed,
+keyword-only entry points plus the observability attachments:
+
+* :func:`run_one` — one (scenario, method) run → :class:`SimulationResult`;
+* :func:`compare` — all methods on one workload → ``method → result``;
+* :func:`sweep` — scenarios × methods, optionally process-parallel;
+* :func:`attach_sink` / :func:`detach_sink` / :func:`capture_events` —
+  stream structured decision events (JSONL or custom sinks);
+* :func:`profile_run` — a profiled comparison run returning the
+  per-stage timing table ``repro profile`` prints.
+
+Deeper imports (``repro.experiments.runner`` and friends) keep working,
+but new code should come through here: these signatures are the ones the
+deprecation policy protects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .cluster.simulator import SimulationResult
+from .core.config import CorpConfig
+from .experiments.runner import (
+    METHOD_ORDER,
+    PredictorCache,
+    default_schedulers,
+    run_methods,
+    run_scenario,
+    run_specs,
+    sweep_specs,
+)
+from .experiments.scenarios import Scenario, cluster_scenario, ec2_scenario
+from .obs import OBS, Sink
+from .obs import attach_sink as _attach_sink
+from .obs import capture_events, detach_sink
+
+__all__ = [
+    "compare",
+    "sweep",
+    "run_one",
+    "profile_run",
+    "attach_sink",
+    "detach_sink",
+    "capture_events",
+    "build_scenario",
+    "PredictorCache",
+    "Scenario",
+    "SimulationResult",
+    "METHOD_ORDER",
+]
+
+
+def attach_sink(sink: Sink | str) -> Sink:
+    """Attach an event sink (a :class:`~repro.obs.Sink` or a JSONL path).
+
+    Events from subsequent runs stream to the sink until
+    :func:`detach_sink`.  Prefer the :func:`capture_events` context
+    manager when the capture window is a single block.
+    """
+    return _attach_sink(sink)
+
+
+def build_scenario(
+    *,
+    jobs: int = 200,
+    testbed: str = "cluster",
+    seed: int = 7,
+) -> Scenario:
+    """A testbed scenario by name (``"cluster"`` or ``"ec2"``)."""
+    builders = {"cluster": cluster_scenario, "ec2": ec2_scenario}
+    try:
+        builder = builders[testbed]
+    except KeyError:
+        raise ValueError(
+            f"unknown testbed {testbed!r} (expected 'cluster' or 'ec2')"
+        ) from None
+    return builder(jobs, seed=seed)
+
+
+def run_one(
+    *,
+    scenario: Scenario,
+    method: str,
+    seed: int = 0,
+    corp_config: CorpConfig | None = None,
+    predictor_cache: PredictorCache | None = None,
+) -> SimulationResult:
+    """Run one method on one scenario."""
+    if method not in METHOD_ORDER:
+        raise ValueError(
+            f"unknown method {method!r} (expected one of {METHOD_ORDER})"
+        )
+    with OBS.span("trace:generate"):
+        trace = scenario.evaluation_trace()
+        history = scenario.history_trace()
+    factories = default_schedulers(
+        corp_config=corp_config,
+        history=history,
+        predictor_cache=predictor_cache,
+        seed=seed,
+    )
+    return run_scenario(
+        scenario, factories[method](), trace=trace, history=history
+    )
+
+
+def compare(
+    *,
+    scenario: Scenario | None = None,
+    jobs: int = 200,
+    testbed: str = "cluster",
+    seed: int = 7,
+    methods: Iterable[str] = METHOD_ORDER,
+    workers: int = 0,
+    predictor_cache: PredictorCache | None = None,
+) -> dict[str, SimulationResult]:
+    """Run every method on the same workload; ``method → result``.
+
+    Pass either a prebuilt ``scenario`` or the (``jobs``, ``testbed``,
+    ``seed``) triple to build one.  ``workers >= 2`` fans the methods
+    over worker processes — results are bit-identical to serial, but
+    observability (events/spans) is process-local, so the serial path
+    is forced whenever a sink is attached or profiling is on.
+    """
+    if scenario is None:
+        scenario = build_scenario(jobs=jobs, testbed=testbed, seed=seed)
+    methods = tuple(methods)
+    if workers >= 2 and not OBS.enabled:
+        specs = sweep_specs(scenarios=[scenario], methods=methods, seed=seed)
+        by_spec = run_specs(
+            specs=specs, workers=workers, predictor_cache=predictor_cache
+        )
+        return {s.method: r for s, r in zip(specs, by_spec)}
+    return run_methods(
+        scenario=scenario,
+        methods=methods,
+        predictor_cache=predictor_cache,
+        seed=seed,
+    )
+
+
+def sweep(
+    *,
+    scenarios: Sequence[Scenario],
+    methods: Iterable[str] = METHOD_ORDER,
+    seed: int = 0,
+    corp_config: CorpConfig | None = None,
+    workers: int = 0,
+    predictor_cache: PredictorCache | None = None,
+) -> list[SimulationResult]:
+    """Scenarios × methods, in sweep order (scenario-major).
+
+    The list aligns with ``sweep_specs(scenarios=...)``.  As with
+    :func:`compare`, worker fan-out is skipped while observability is
+    recording (events and spans are process-local).
+    """
+    specs = sweep_specs(
+        scenarios=scenarios, methods=methods, seed=seed, corp_config=corp_config
+    )
+    effective_workers = 0 if OBS.enabled else workers
+    return run_specs(
+        specs=specs, workers=effective_workers, predictor_cache=predictor_cache
+    )
+
+
+def profile_run(
+    *,
+    jobs: int = 50,
+    testbed: str = "cluster",
+    seed: int = 7,
+    methods: Iterable[str] = METHOD_ORDER,
+) -> dict:
+    """Run a profiled comparison and return the per-stage report.
+
+    Enables counter/timer recording for the duration of one serial
+    :func:`compare`, then returns::
+
+        {
+          "stages":   [{"stage", "calls", "total_s", "mean_s", "share"}...],
+          "counters": {name: value, ...},
+          "summaries": {method: summary-dict, ...},
+          "total_s":  float,
+        }
+
+    The caller keeps any already-attached event sink; profiling state
+    and previously recorded counters/timers are reset first so the
+    report covers exactly this run.
+    """
+    OBS.counters.reset()
+    OBS.timers.reset()
+    OBS.enable_profiling()
+    try:
+        results = compare(
+            jobs=jobs, testbed=testbed, seed=seed, methods=methods, workers=0
+        )
+    finally:
+        OBS.disable_profiling()
+    stats = OBS.timers.snapshot()
+    total = sum(s.total_s for s in stats)
+    stages = [
+        {
+            "stage": s.name,
+            "calls": s.count,
+            "total_s": round(s.total_s, 6),
+            "mean_s": round(s.mean_s, 6),
+            "share": round(s.total_s / total, 4) if total > 0 else 0.0,
+        }
+        for s in stats
+    ]
+    return {
+        "profile": "per-stage wall clock, one serial compare run",
+        "jobs": jobs,
+        "testbed": testbed,
+        "seed": seed,
+        "stages": stages,
+        "counters": OBS.counters.snapshot(),
+        "summaries": {m: r.summary() for m, r in results.items()},
+        "total_s": round(total, 6),
+    }

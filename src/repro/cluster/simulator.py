@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
+from ..obs import OBS
 from .job import Job, JobState
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a trace<->cluster import cycle
@@ -203,6 +204,26 @@ class ClusterSimulator:
 
             # 5. scheduler feedback
             self.scheduler.on_slot_end(slot, outcomes)
+
+            if OBS.enabled:
+                w = self.metrics.weights
+                den = float(total_committed @ w)
+                util = (
+                    min(float(total_demand @ w) / den, 1.0)
+                    if den > 1e-12 else 0.0
+                )
+                OBS.emit(
+                    "slot",
+                    slot=slot,
+                    scheduler=self.scheduler.name,
+                    utilization=util,
+                    wastage=1.0 - util if den > 1e-12 else 0.0,
+                    queue_depth=len(self.pending),
+                    running=len(self.running),
+                    completed=len(self.completed),
+                    rejected=len(self.rejected),
+                )
+                OBS.count("sim.slots")
 
             slot += 1
 

@@ -28,8 +28,9 @@ import numpy as np
 
 from ..cluster.job import Job
 from ..cluster.machine import VirtualMachine
-from ..cluster.resources import NUM_RESOURCES, ResourceVector
+from ..cluster.resources import NUM_RESOURCES, ResourceKind, ResourceVector
 from ..forecast.confidence import z_value
+from ..obs import OBS
 from ..trace.records import Trace
 from .config import CorpConfig
 from .packing import JobEntity, pack_jobs, singleton_entities
@@ -158,11 +159,35 @@ class CorpScheduler(ProvisioningSchedulerBase):
             else:
                 job_scale = tracker.sigma() * self._z
             shift[k] = job_scale * rss[k]
+        if OBS.enabled:
+            OBS.count("forecast.ci_adjusted")
+            OBS.gauge("forecast.ci_shift_mean", float(shift.mean()))
         return raw - shift
 
     def opportunistic_allowed(self) -> bool:
-        """Eq. 21 gate across all resource types."""
-        return self.gate.all_unlocked()
+        """Eq. 21 gate across all resource types.
+
+        Emits one ``preemption`` event per evaluation (the unlock/deny
+        decision with the per-resource empirical Eq. 21 probability)
+        when observability is on.
+        """
+        unlocked = self.gate.all_unlocked()
+        if OBS.enabled:
+            OBS.emit(
+                "preemption",
+                slot=self._sim.current_slot if self._sim is not None else None,
+                scheduler=self.name,
+                unlocked=unlocked,
+                probabilities=[
+                    float(self.gate.probability(k)) for k in ResourceKind
+                ],
+                threshold=self.gate.probability_threshold,
+                tolerance=self.gate.error_tolerance,
+            )
+            OBS.count(
+                "preemption.unlock" if unlocked else "preemption.deny"
+            )
+        return unlocked
 
     def opportunistic_admission_size(self, entity: JobEntity) -> ResourceVector:
         """Admit riders at expected demand, not worst-case request.

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..cluster.resources import NUM_RESOURCES, ResourceKind, ResourceVector
 from ..hmm.fluctuation import FluctuationPredictor
+from ..obs import OBS
 from ..nn.losses import MSE, pinball
 from ..nn.network import FeedForwardNetwork
 from ..nn.optimizers import Adam
@@ -118,6 +119,10 @@ class CorpPredictor:
 
     def fit(self, history: Trace) -> "CorpPredictor":
         """Offline phase: train one DNN and one HMM per resource type."""
+        with OBS.span("predictor:fit"):
+            return self._fit(history)
+
+    def _fit(self, history: Trace) -> "CorpPredictor":
         cfg = self.config
         self.networks = []
         self.fluctuation = []
@@ -135,8 +140,9 @@ class CorpPredictor:
                 cfg.dnn_layer_sizes(), seed=cfg.seed + int(kind)
             )
             loss = MSE if cfg.train_quantile is None else pinball(cfg.train_quantile)
+            training = None
             if x.shape[0] >= 8:
-                train(
+                training = train(
                     net,
                     x,
                     y,
@@ -177,6 +183,21 @@ class CorpPredictor:
                 self.fluctuation.append(fp)
             else:
                 self.fluctuation.append(fp)  # unfitted: corrections disabled
+            if OBS.enabled:
+                errors = self.seed_errors[-1]
+                OBS.emit(
+                    "predictor_fit",
+                    resource=kind.label.lower(),
+                    n_samples=int(x.shape[0]),
+                    epochs=training.n_epochs if training else 0,
+                    stopped_early=bool(training.stopped_early)
+                    if training else False,
+                    val_loss=float(training.final_val_loss)
+                    if training else None,
+                    rmse=float(np.sqrt(np.mean(errors**2)))
+                    if errors.size else None,
+                    hmm_fitted=bool(fp.fitted),
+                )
         return self
 
     # ------------------------------------------------------------------
@@ -207,8 +228,12 @@ class CorpPredictor:
         cfg = self.config
         util_history = np.atleast_2d(np.asarray(util_history, dtype=np.float64))
         out = np.zeros(NUM_RESOURCES)
+        if OBS.enabled:
+            OBS.count("predictor.predict")
         if util_history.shape[0] < cfg.min_history_slots:
             # Quantile prior: already at the trained conservatism level.
+            if OBS.enabled:
+                OBS.count("predictor.prior_fallback")
             return ResourceVector(self.prior_unused_fraction * request.as_array())
         for kind in range(NUM_RESOURCES):
             util = util_history[:, kind]
@@ -218,6 +243,8 @@ class CorpPredictor:
                 recent_unused = 1.0 - util[-3 * cfg.window_slots :]
                 symbol = fp.predict_next_symbol(recent_unused)
                 fraction += fp.correction(symbol)
+                if OBS.enabled:
+                    OBS.count("predictor.hmm_correction")
             out[kind] = np.clip(fraction, 0.0, 1.0) * request[ResourceKind(kind)]
         return ResourceVector(out)
 

@@ -29,9 +29,10 @@ from ..cluster.job import Job
 from ..cluster.machine import Placement, SlotOutcome, VirtualMachine
 from ..cluster.resources import NUM_RESOURCES, ResourceVector
 from ..cluster.scheduler import Scheduler
+from ..obs import OBS
 from .packing import JobEntity, singleton_entities
 from .preemption import PreemptionGate
-from .vm_selection import select_random_feasible
+from .vm_selection import select_random_feasible, unused_volume
 
 __all__ = ["ProvisioningSchedulerBase"]
 
@@ -323,10 +324,14 @@ class ProvisioningSchedulerBase(Scheduler):
 
     def _try_opportunistic(self, entity: JobEntity, slot: int) -> bool:
         admission = self.opportunistic_admission_size(entity)
-        vm = self.choose_vm(admission, self._opportunistic_candidates())
+        candidates = self._opportunistic_candidates()
+        vm = self.choose_vm(admission, candidates)
         if vm is None:
             return False
-        self._place_entity(entity, vm, slot, opportunistic=True)
+        self._place_entity(
+            entity, vm, slot, opportunistic=True,
+            candidates=candidates, demand=admission,
+        )
         self._available_unused[vm.vm_id] = np.clip(
             self._available_unused[vm.vm_id] - admission.as_array(), 0.0, None
         )
@@ -337,14 +342,71 @@ class ProvisioningSchedulerBase(Scheduler):
         vm = self.choose_vm(entity.demand, candidates)
         if vm is None:
             return False
-        self._place_entity(entity, vm, slot, opportunistic=False)
+        self._place_entity(
+            entity, vm, slot, opportunistic=False,
+            candidates=candidates, demand=entity.demand,
+        )
         return True
 
+    def _emit_placement(
+        self,
+        entity: JobEntity,
+        vm: VirtualMachine,
+        slot: int,
+        opportunistic: bool,
+        candidates: Sequence[tuple[VirtualMachine, ResourceVector]] | None,
+        demand: ResourceVector | None,
+    ) -> None:
+        """One ``placement`` event per placed job (decision telemetry).
+
+        ``feasible_vms`` is the size of the feasible set the chooser saw;
+        ``volume`` is the chosen VM's Eq. 22 availability volume.  Both
+        are computed only here, i.e. only when a sink/profiler listens.
+        """
+        feasible = volume = None
+        if candidates is not None and demand is not None:
+            feasible = sum(
+                1 for _, avail in candidates if demand.fits_within(avail)
+            )
+            chosen = next((a for v, a in candidates if v is vm), None)
+            if chosen is not None and self._sim is not None:
+                volume = unused_volume(chosen, self.sim.max_vm_capacity())
+        ids = entity.job_ids()
+        for job in entity.jobs:
+            partner = next((i for i in ids if i != job.job_id), None)
+            OBS.emit(
+                "placement",
+                slot=slot,
+                scheduler=self.name,
+                job=job.job_id,
+                vm=vm.vm_id,
+                opportunistic=opportunistic,
+                packed=entity.is_packed,
+                partner=partner,
+                feasible_vms=feasible,
+                volume=volume,
+            )
+        OBS.count(
+            "placement.opportunistic" if opportunistic else "placement.primary",
+            len(entity.jobs),
+        )
+
     def _place_entity(
-        self, entity: JobEntity, vm: VirtualMachine, slot: int, *, opportunistic: bool
+        self,
+        entity: JobEntity,
+        vm: VirtualMachine,
+        slot: int,
+        *,
+        opportunistic: bool,
+        candidates: Sequence[tuple[VirtualMachine, ResourceVector]] | None = None,
+        demand: ResourceVector | None = None,
     ) -> None:
         # Dispatching an entity to a VM is one remote operation.
         self.latency.charge_comm(1)
+        if OBS.enabled:
+            self._emit_placement(
+                entity, vm, slot, opportunistic, candidates, demand
+            )
         for job in entity.jobs:
             reserved = (
                 ResourceVector.zeros() if opportunistic else job.requested

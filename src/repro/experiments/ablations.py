@@ -43,7 +43,7 @@ def run_ablations(
     :meth:`~repro.cluster.simulator.SimulationResult.summary` keys, plus
     ``riders`` — the number of opportunistically placed jobs).
     """
-    cache = cache or PredictorCache()
+    cache = cache if cache is not None else PredictorCache()
     variants = variants or ABLATIONS
     scenario = cluster_scenario(n_jobs, seed=seed)
     history = scenario.history_trace()

@@ -132,7 +132,9 @@ def _run_baseline(counts: Sequence[int], seed: int) -> tuple[float, list[dict]]:
     with legacy_mode():
         t0 = time.perf_counter()
         for scenario in sweep_scenarios(counts, seed=seed):
-            results = run_methods(scenario, cache=PredictorCache(), seed=seed)
+            results = run_methods(
+                scenario=scenario, predictor_cache=PredictorCache(), seed=seed
+            )
             summaries.extend(_summaries(results.values()))
         elapsed = time.perf_counter() - t0
     return elapsed, summaries
@@ -142,9 +144,11 @@ def _run_optimized(
     counts: Sequence[int], seed: int, workers: int
 ) -> tuple[float, list[dict]]:
     """Current sweep: vectorized path, shared fit, optional workers."""
-    specs = sweep_specs(sweep_scenarios(counts, seed=seed), seed=seed)
+    specs = sweep_specs(scenarios=sweep_scenarios(counts, seed=seed), seed=seed)
     t0 = time.perf_counter()
-    results = run_specs(specs, workers=workers, cache=PredictorCache())
+    results = run_specs(
+        specs=specs, workers=workers, predictor_cache=PredictorCache()
+    )
     elapsed = time.perf_counter() - t0
     return elapsed, _summaries(results)
 

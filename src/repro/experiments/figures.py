@@ -152,7 +152,7 @@ def fig06_prediction_error(
     Expected shape: CORP < RCCR < CloudScale < DRA at each job count.
     ``repeats > 1`` averages each point over that many workload seeds.
     """
-    cache = cache or PredictorCache()
+    cache = cache if cache is not None else PredictorCache()
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
     result = FigureResult(
@@ -195,7 +195,7 @@ def fig07_utilization(
     utilization.  Expected: CORP > RCCR > CloudScale > DRA; CPU/MEM
     utilization above storage utilization.
     """
-    cache = cache or PredictorCache()
+    cache = cache if cache is not None else PredictorCache()
     fig_no = "fig07" if testbed == "cluster" else "fig11"
     panels: dict[str, FigureResult] = {}
     keys = [k.label.lower() for k in ResourceKind] + ["overall"]
@@ -241,7 +241,7 @@ def fig08_utilization_vs_slo(
     rate, and at comparable violation rates CORP's utilization is
     highest.
     """
-    cache = cache or PredictorCache()
+    cache = cache if cache is not None else PredictorCache()
     scenario = _scenario(testbed, n_jobs, seed)
     history = scenario.history_trace()
     trace = scenario.evaluation_trace()
@@ -285,7 +285,7 @@ def fig09_slo_vs_confidence(
     CloudScale, demand-estimate headroom for DRA), mapped so higher η
     means more conservative.
     """
-    cache = cache or PredictorCache()
+    cache = cache if cache is not None else PredictorCache()
     fig_no = "fig09" if testbed == "cluster" else "fig13"
     result = FigureResult(
         figure_id=fig_no,
@@ -330,7 +330,7 @@ def fig10_overhead(
     the others (DNN+HMM inference), and every method's EC2 latency above
     its cluster latency (higher RTT).
     """
-    cache = cache or PredictorCache()
+    cache = cache if cache is not None else PredictorCache()
     scenario = _scenario(testbed, n_jobs, seed)
     history = scenario.history_trace()
     trace = scenario.evaluation_trace()

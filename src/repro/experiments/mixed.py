@@ -73,7 +73,7 @@ def run_mixed_workload(
     both populations — the paper's "original Google trace" setting.
     Returns ``method → summary`` with a ``riders`` count added.
     """
-    cache = cache or PredictorCache()
+    cache = cache if cache is not None else PredictorCache()
     scenario = mixed_scenario(n_jobs, seed=seed, short_fraction=short_fraction)
     trace = _unfiltered_trace(scenario)
     history_cfg = dataclasses.replace(scenario.history_config)
@@ -82,7 +82,9 @@ def run_mixed_workload(
         scenario.sim_config.slot_duration_s,
         seed=history_cfg.seed,
     )
-    factories = default_schedulers(history=history, cache=cache, seed=seed)
+    factories = default_schedulers(
+        history=history, predictor_cache=cache, seed=seed
+    )
     out: dict[str, dict[str, float]] = {}
     for name in methods:
         if name not in METHOD_ORDER:

@@ -3,10 +3,19 @@
 Also hosts the :class:`PredictorCache`, which shares CORP's offline
 DNN/HMM fit across the many runs of a sweep — the paper trains once on
 the historical Google-trace data and reuses the models.
+
+API convention (since the :mod:`repro.api` redesign): the public entry
+points :func:`run_methods`, :func:`run_specs` and :func:`sweep_specs`
+take keyword-only arguments with uniform names (``scenario=``,
+``specs=``, ``scenarios=``, ``predictor_cache=``, ``workers=``).  The
+old positional forms and the old ``cache=`` keyword still work for one
+release but raise :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
@@ -17,6 +26,7 @@ from ..cluster.simulator import ClusterSimulator, SimulationResult
 from ..core.config import CorpConfig
 from ..core.corp import CorpScheduler
 from ..core.predictor import CorpPredictor
+from ..obs import OBS
 from ..trace.records import Trace
 from .scenarios import Scenario
 
@@ -37,20 +47,73 @@ METHOD_ORDER: tuple[str, ...] = ("CORP", "RCCR", "CloudScale", "DRA")
 SchedulerFactory = Callable[[], Scheduler]
 
 
+def _warn_positional(func: str, hint: str) -> None:
+    warnings.warn(
+        f"positional arguments to {func}() are deprecated; "
+        f"call it as {func}({hint})",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _resolve_cache(
+    func: str,
+    predictor_cache: "PredictorCache | None",
+    cache: "PredictorCache | None",
+) -> "PredictorCache | None":
+    """Fold the deprecated ``cache=`` spelling into ``predictor_cache=``."""
+    if cache is not None:
+        warnings.warn(
+            f"the cache= keyword of {func}() is deprecated; "
+            "use predictor_cache=",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if predictor_cache is None:
+            predictor_cache = cache
+    return predictor_cache
+
+
 @dataclass
 class PredictorCache:
-    """Caches fitted :class:`CorpPredictor` objects per (config, history).
+    """LRU cache of fitted :class:`CorpPredictor` objects.
 
     Keyed by the CORP config's identity fields and the history trace's
     *content* digest: sweeps regenerate the same seeded history trace at
-    every point, so keying on object identity (the previous behaviour)
+    every point, so keying on object identity (the original behaviour)
     silently refit the DNN/HMM stack once per sweep point.  One offline
     fit now serves every run that trains on identical data, which is
     what the paper does — train once on the historical Google-trace
     data, reuse the models.
+
+    The cache is bounded (``maxsize`` entries, least-recently-used
+    evicted first) so a long-lived process sweeping many distinct
+    (config, history) pairs cannot grow it without limit.  Hit/miss
+    totals are kept on the instance and mirrored to the observability
+    counters ``predictor_cache.hit`` / ``predictor_cache.miss`` when a
+    sink or profiler is active.
     """
 
-    _cache: dict[tuple, CorpPredictor] = field(default_factory=dict)
+    _cache: "OrderedDict[tuple, CorpPredictor]" = field(
+        default_factory=OrderedDict
+    )
+    #: Large enough to hold one fit per scenario of the full sweep (12)
+    #: plus the ablation variants; small enough to bound a long-lived
+    #: process.  LRU order makes sweeps (which touch keys consecutively)
+    #: eviction-free even right at the bound.
+    maxsize: int = 16
+    hits: int = 0
+    misses: int = 0
+
+    def __post_init__(self) -> None:
+        if self.maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        # Worker-pool seeding hands over a plain dict; normalize it.
+        if not isinstance(self._cache, OrderedDict):
+            self._cache = OrderedDict(self._cache)
+
+    def __len__(self) -> int:
+        return len(self._cache)
 
     def get(self, config: CorpConfig, history: Trace) -> CorpPredictor:
         """Fitted predictor for (config, history), fitting once per key."""
@@ -68,9 +131,17 @@ class PredictorCache:
             config.train_max_epochs,
         )
         predictor = self._cache.get(key)
-        if predictor is None:
-            predictor = CorpPredictor(config=config).fit(history)
-            self._cache[key] = predictor
+        if predictor is not None:
+            self._cache.move_to_end(key)
+            self.hits += 1
+            OBS.count("predictor_cache.hit")
+            return predictor
+        self.misses += 1
+        OBS.count("predictor_cache.miss")
+        predictor = CorpPredictor(config=config).fit(history)
+        self._cache[key] = predictor
+        while len(self._cache) > self.maxsize:
+            self._cache.popitem(last=False)
         return predictor
 
 
@@ -78,21 +149,29 @@ def default_schedulers(
     *,
     corp_config: CorpConfig | None = None,
     history: Trace | None = None,
+    predictor_cache: PredictorCache | None = None,
     cache: PredictorCache | None = None,
     seed: int = 0,
 ) -> dict[str, SchedulerFactory]:
     """Factories for the four methods with the paper's default settings.
 
-    Passing ``history`` (and optionally a ``cache``) pre-fits CORP's
-    predictor so the expensive offline phase is shared across runs.
+    Passing ``history`` (and optionally a ``predictor_cache``) pre-fits
+    CORP's predictor so the expensive offline phase is shared across
+    runs.
     """
+    predictor_cache = _resolve_cache(
+        "default_schedulers", predictor_cache, cache
+    )
     cfg = corp_config or CorpConfig(seed=seed)
 
     def make_corp() -> Scheduler:
         """CORP factory, reusing the cached offline fit when possible."""
         predictor = None
         if history is not None:
-            predictor = (cache or PredictorCache()).get(cfg, history)
+            # `is None`, not truthiness: an empty cache is falsy (len 0)
+            # but must still be filled and shared, not replaced.
+            owner = predictor_cache if predictor_cache is not None else PredictorCache()
+            predictor = owner.get(cfg, history)
         return CorpScheduler(cfg, predictor=predictor)
 
     return {
@@ -122,23 +201,46 @@ def run_scenario(
     sim = ClusterSimulator(scenario.profile, scheduler, scenario.sim_config)
     eval_trace = trace if trace is not None else scenario.evaluation_trace()
     hist_trace = history if history is not None else scenario.history_trace()
-    return sim.run(eval_trace, history=hist_trace)
+    with OBS.span(f"run:{scheduler.name}"):
+        return sim.run(eval_trace, history=hist_trace)
 
 
 def run_methods(
-    scenario: Scenario,
+    *args,
+    scenario: Scenario | None = None,
     factories: Mapping[str, SchedulerFactory] | None = None,
-    *,
     methods: Iterable[str] = METHOD_ORDER,
     history: Trace | None = None,
+    predictor_cache: PredictorCache | None = None,
     cache: PredictorCache | None = None,
     seed: int = 0,
 ) -> dict[str, SimulationResult]:
-    """Run every requested method on the *same* evaluation trace."""
-    eval_trace = scenario.evaluation_trace()
-    hist_trace = history if history is not None else scenario.history_trace()
+    """Run every requested method on the *same* evaluation trace.
+
+    Keyword-only: ``run_methods(scenario=..., predictor_cache=...)``.
+    The legacy positional form ``run_methods(scenario, factories)`` and
+    the ``cache=`` keyword are deprecated shims.
+    """
+    if args:
+        _warn_positional("run_methods", "scenario=..., factories=...")
+        if len(args) > 2:
+            raise TypeError("run_methods takes at most 2 positional arguments")
+        if scenario is None:
+            scenario = args[0]
+        if len(args) == 2 and factories is None:
+            factories = args[1]
+    if scenario is None:
+        raise TypeError("run_methods() requires scenario=")
+    predictor_cache = _resolve_cache("run_methods", predictor_cache, cache)
+    with OBS.span("trace:generate"):
+        eval_trace = scenario.evaluation_trace()
+        hist_trace = (
+            history if history is not None else scenario.history_trace()
+        )
     if factories is None:
-        factories = default_schedulers(history=hist_trace, cache=cache, seed=seed)
+        factories = default_schedulers(
+            history=hist_trace, predictor_cache=predictor_cache, seed=seed
+        )
     results: dict[str, SimulationResult] = {}
     for name in methods:
         scheduler = factories[name]()
@@ -170,13 +272,25 @@ class RunSpec:
 
 
 def sweep_specs(
-    scenarios: Iterable[Scenario],
-    *,
+    *args,
+    scenarios: Iterable[Scenario] | None = None,
     methods: Iterable[str] = METHOD_ORDER,
     seed: int = 0,
     corp_config: CorpConfig | None = None,
 ) -> list[RunSpec]:
-    """The full cross product of scenarios × methods, in sweep order."""
+    """The full cross product of scenarios × methods, in sweep order.
+
+    Keyword-only: ``sweep_specs(scenarios=[...])``.  The legacy
+    positional form is a deprecated shim.
+    """
+    if args:
+        _warn_positional("sweep_specs", "scenarios=[...]")
+        if len(args) > 1:
+            raise TypeError("sweep_specs takes at most 1 positional argument")
+        if scenarios is None:
+            scenarios = args[0]
+    if scenarios is None:
+        raise TypeError("sweep_specs() requires scenarios=")
     methods = tuple(methods)
     return [
         RunSpec(
@@ -195,9 +309,16 @@ def _execute_spec(
     history: Trace | None = None,
 ) -> SimulationResult:
     """Run one spec; traces may be passed in to share generation."""
-    hist = history if history is not None else spec.scenario.history_trace()
+    if history is not None:
+        hist = history
+    else:
+        with OBS.span("trace:generate"):
+            hist = spec.scenario.history_trace()
     factories = default_schedulers(
-        corp_config=spec.corp_config, history=hist, cache=cache, seed=spec.seed
+        corp_config=spec.corp_config,
+        history=hist,
+        predictor_cache=cache,
+        seed=spec.seed,
     )
     return run_scenario(
         spec.scenario, factories[spec.method](), trace=trace, history=hist
@@ -221,12 +342,17 @@ def _run_spec_in_worker(spec: RunSpec) -> SimulationResult:
 
 
 def run_specs(
-    specs: Sequence[RunSpec],
-    *,
+    *args,
+    specs: Sequence[RunSpec] | None = None,
     workers: int = 0,
+    predictor_cache: PredictorCache | None = None,
     cache: PredictorCache | None = None,
 ) -> list[SimulationResult]:
     """Execute ``specs`` and return results in the same order.
+
+    Keyword-only: ``run_specs(specs=[...], workers=..., predictor_cache=...)``.
+    The legacy positional form and ``cache=`` keyword are deprecated
+    shims.
 
     Parameters
     ----------
@@ -237,13 +363,24 @@ def run_specs(
         run is seeded and single-threaded, so worker placement cannot
         change results: parallel output is bit-identical to serial
         output except for the wall-clock ``allocation_latency_s``.
-    cache:
+        Observability is process-local — events/spans from pooled
+        workers are not captured; use the serial path when recording.
+    predictor_cache:
         Shared :class:`PredictorCache`.  CORP's offline fit is computed
         *once* in the parent for each distinct (config, history) pair
         and handed to the workers through the pool initializer, so no
         worker ever refits the DNN/HMM stack.
     """
-    cache = cache if cache is not None else PredictorCache()
+    if args:
+        _warn_positional("run_specs", "specs=[...]")
+        if len(args) > 1:
+            raise TypeError("run_specs takes at most 1 positional argument")
+        if specs is None:
+            specs = args[0]
+    if specs is None:
+        raise TypeError("run_specs() requires specs=")
+    predictor_cache = _resolve_cache("run_specs", predictor_cache, cache)
+    shared = predictor_cache if predictor_cache is not None else PredictorCache()
     if workers <= 1:
         results: list[SimulationResult] = []
         # Share per-scenario trace generation across that scenario's
@@ -253,13 +390,14 @@ def run_specs(
         for spec in specs:
             key = id(spec.scenario)
             if key not in traces:
-                traces[key] = (
-                    spec.scenario.evaluation_trace(),
-                    spec.scenario.history_trace(),
-                )
+                with OBS.span("trace:generate"):
+                    traces[key] = (
+                        spec.scenario.evaluation_trace(),
+                        spec.scenario.history_trace(),
+                    )
             trace, hist = traces[key]
             results.append(
-                _execute_spec(spec, cache, trace=trace, history=hist)
+                _execute_spec(spec, shared, trace=trace, history=hist)
             )
         return results
 
@@ -273,12 +411,12 @@ def run_specs(
         if key not in hist_by_scenario:
             hist_by_scenario[key] = spec.scenario.history_trace()
         cfg = spec.corp_config or CorpConfig(seed=spec.seed)
-        cache.get(cfg, hist_by_scenario[key])
+        shared.get(cfg, hist_by_scenario[key])
 
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_worker,
-        initargs=(dict(cache._cache),),
+        initargs=(dict(shared._cache),),
     ) as pool:
         futures = [pool.submit(_run_spec_in_worker, spec) for spec in specs]
         return [f.result() for f in futures]

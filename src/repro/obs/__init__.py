@@ -1,0 +1,70 @@
+"""Zero-dependency structured observability for the reproduction.
+
+Three primitives behind one process-global hub (:data:`OBS`):
+
+* **events** — named, structured records of runtime decisions (slot
+  executed, job placed, preemption gate evaluated, predictor fitted),
+  routed to an attachable sink (:class:`JsonlSink`, :class:`MemorySink`,
+  :class:`NullSink`);
+* **counters/gauges** — named running totals and last-value gauges;
+* **timer spans** — wall-clock per-stage aggregates that become the
+  ``repro profile`` table.
+
+Disabled by default: with no sink attached and profiling off, every
+instrumentation point reduces to one attribute load and a branch.
+
+Usage::
+
+    from repro import obs
+
+    with obs.capture_events("events.jsonl"):
+        ...  # run experiments; decision events stream to the file
+
+    obs.enable_profiling()
+    ...                       # run; spans and counters accumulate
+    for stat in obs.OBS.timers.snapshot():
+        print(stat.name, stat.count, stat.total_s)
+"""
+
+from .events import (
+    Event,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    Sink,
+    events_by_name,
+    read_jsonl,
+)
+from .metrics import Counters
+from .observer import (
+    OBS,
+    Observer,
+    attach_sink,
+    capture_events,
+    detach_sink,
+    disable_profiling,
+    enable_profiling,
+    reset,
+)
+from .timers import TimerStat, Timers
+
+__all__ = [
+    "Event",
+    "Sink",
+    "NullSink",
+    "MemorySink",
+    "JsonlSink",
+    "read_jsonl",
+    "events_by_name",
+    "Counters",
+    "TimerStat",
+    "Timers",
+    "Observer",
+    "OBS",
+    "attach_sink",
+    "detach_sink",
+    "enable_profiling",
+    "disable_profiling",
+    "capture_events",
+    "reset",
+]

@@ -1,0 +1,161 @@
+"""Structured events and the sinks that receive them.
+
+An :class:`Event` is a named bag of scalar fields describing one runtime
+decision (a slot executed, a job placed, the preemption gate evaluated,
+a predictor fitted).  Producers never format or store events themselves;
+they hand them to whatever :class:`Sink` is attached to the global
+observer (:mod:`repro.obs.observer`).  With no sink attached nothing is
+built or written — the instrumentation call sites all guard on
+``OBS.enabled`` so the disabled cost is one attribute load and a branch.
+
+Sinks:
+
+* :class:`NullSink` — accepts and discards (for overhead measurements);
+* :class:`MemorySink` — accumulates events in a list (tests, notebooks);
+* :class:`JsonlSink` — one JSON object per line, append-only, with
+  numpy scalars/arrays coerced to plain JSON types.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import IO, Iterable, Iterator, Mapping, Protocol, runtime_checkable
+
+__all__ = [
+    "Event",
+    "Sink",
+    "NullSink",
+    "MemorySink",
+    "JsonlSink",
+    "read_jsonl",
+    "events_by_name",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured observation: a name plus scalar fields."""
+
+    name: str
+    fields: Mapping[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        """Flat dict form, with the name under the ``"event"`` key."""
+        out: dict[str, object] = {"event": self.name}
+        out.update(self.fields)
+        return out
+
+
+@runtime_checkable
+class Sink(Protocol):
+    """Anything that can receive events."""
+
+    def emit(self, event: Event) -> None:
+        """Receive one event."""
+        ...
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+        ...
+
+
+class NullSink:
+    """Accepts and discards every event (the overhead-measurement sink)."""
+
+    def emit(self, event: Event) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class MemorySink:
+    """Buffers events in memory — the test/notebook sink."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def emit(self, event: Event) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def named(self, name: str) -> list[Event]:
+        """Events with a given name, in emission order."""
+        return [e for e in self.events if e.name == name]
+
+
+def _sanitize(value: object) -> object:
+    """Coerce numpy scalars/arrays to JSON types and NaN to ``null``.
+
+    Applied recursively so every emitted line stays strictly parseable
+    (``json.dumps`` would otherwise write bare ``NaN`` literals).
+    """
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        value = value.item()  # numpy scalar
+    if hasattr(value, "tolist"):
+        value = value.tolist()  # numpy array
+    if isinstance(value, float) and value != value:
+        return None  # NaN has no strict-JSON spelling
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _sanitize(v) for k, v in value.items()}
+    return value
+
+
+class JsonlSink:
+    """Writes one JSON object per event line to a file.
+
+    Accepts a path (opened for writing, closed by :meth:`close`) or an
+    already-open text stream (left open).  ``NaN`` field values are
+    written as ``null`` so every line stays strictly parseable.
+    """
+
+    def __init__(self, target: str | IO[str]) -> None:
+        if isinstance(target, str):
+            self._fh: IO[str] = open(target, "w")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self._closed = False
+
+    def emit(self, event: Event) -> None:
+        self._fh.write(json.dumps(_sanitize(event.to_dict())) + "\n")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def read_jsonl(path: str) -> Iterator[dict]:
+    """Parse a JSONL event file back into dicts (blank lines skipped)."""
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def events_by_name(records: Iterable[dict]) -> dict[str, list[dict]]:
+    """Group parsed JSONL records by their ``"event"`` name."""
+    out: dict[str, list[dict]] = {}
+    for record in records:
+        out.setdefault(str(record.get("event")), []).append(record)
+    return out

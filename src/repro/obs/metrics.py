@@ -1,0 +1,55 @@
+"""Named counters and gauges.
+
+Counters are monotonically increasing totals (placements made, cache
+hits, predictor calls); gauges hold the last observed value of a
+quantity (queue depth, CI shift).  Both are plain dicts under the hood —
+the point is a uniform naming surface the profile report and tests can
+enumerate, not a metrics database.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counters"]
+
+
+class Counters:
+    """A registry of named counters and gauges."""
+
+    __slots__ = ("_counts", "_gauges")
+
+    def __init__(self) -> None:
+        self._counts: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to a counter (created at zero on first use)."""
+        self._counts[name] = self._counts.get(name, 0.0) + amount
+
+    def get(self, name: str) -> float:
+        """Current value of a counter (0 if never incremented)."""
+        return self._counts.get(name, 0.0)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Record the latest observation of a gauge."""
+        self._gauges[name] = float(value)
+
+    def get_gauge(self, name: str) -> float | None:
+        """Latest gauge value, or None if never set."""
+        return self._gauges.get(name)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, float]:
+        """Sorted copy of all counters (gauges under a ``gauge:`` prefix)."""
+        out = {name: self._counts[name] for name in sorted(self._counts)}
+        for name in sorted(self._gauges):
+            out[f"gauge:{name}"] = self._gauges[name]
+        return out
+
+    def reset(self) -> None:
+        """Drop every counter and gauge."""
+        self._counts.clear()
+        self._gauges.clear()
+
+    def __len__(self) -> int:
+        return len(self._counts) + len(self._gauges)

@@ -1,0 +1,165 @@
+"""The process-global observer hub.
+
+One :class:`Observer` instance (``OBS``) routes every structured event,
+counter increment and timer span.  It is disabled by default: hot call
+sites guard with ``if OBS.enabled:`` so the instrumentation costs one
+attribute load and a branch per decision point when nothing listens.
+
+Enabling happens two ways, independently combinable:
+
+* :func:`attach_sink` — events start flowing to a sink (JSONL file,
+  memory buffer, ...).  Counters and timers record too.
+* :func:`enable_profiling` — counters and timer spans record with no
+  event I/O (what ``repro profile`` uses).
+
+Both are process-local: runs fanned out over worker processes
+(``workers >= 2``) record only in their own process, so event capture
+and profiling force the serial path (the API and CLI do this for you).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from .events import Event, JsonlSink, Sink
+from .metrics import Counters
+from .timers import Timers
+
+__all__ = [
+    "Observer",
+    "OBS",
+    "attach_sink",
+    "detach_sink",
+    "enable_profiling",
+    "disable_profiling",
+    "capture_events",
+    "reset",
+]
+
+
+class Observer:
+    """Routes events/counters/timers; cheap to consult when disabled."""
+
+    __slots__ = ("enabled", "sink", "counters", "timers", "_profiling")
+
+    def __init__(self) -> None:
+        self.enabled: bool = False
+        self.sink: Sink | None = None
+        self.counters = Counters()
+        self.timers = Timers()
+        self._profiling: bool = False
+
+    # ------------------------------------------------------------------
+    def _sync_enabled(self) -> None:
+        self.enabled = self.sink is not None or self._profiling
+
+    def attach_sink(self, sink: Sink) -> Sink:
+        """Start routing events to ``sink`` (replacing any current one)."""
+        if self.sink is not None and self.sink is not sink:
+            self.sink.close()
+        self.sink = sink
+        self._sync_enabled()
+        return sink
+
+    def detach_sink(self) -> None:
+        """Stop event routing and close the sink (counters keep state)."""
+        if self.sink is not None:
+            self.sink.close()
+            self.sink = None
+        self._sync_enabled()
+
+    def enable_profiling(self) -> None:
+        """Record counters/timers without any event sink."""
+        self._profiling = True
+        self._sync_enabled()
+
+    def disable_profiling(self) -> None:
+        """Stop profiling (event routing, if any, continues)."""
+        self._profiling = False
+        self._sync_enabled()
+
+    def reset(self) -> None:
+        """Detach the sink, stop profiling, clear counters and timers."""
+        self.detach_sink()
+        self._profiling = False
+        self._sync_enabled()
+        self.counters.reset()
+        self.timers.reset()
+
+    # ------------------------------------------------------------------
+    def emit(self, name: str, /, **fields: object) -> None:
+        """Send one structured event to the attached sink (if any)."""
+        if self.sink is not None:
+            self.sink.emit(Event(name=name, fields=fields))
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Increment a named counter (when enabled)."""
+        if self.enabled:
+            self.counters.inc(name, amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a gauge observation (when enabled)."""
+        if self.enabled:
+            self.counters.set_gauge(name, value)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a stage; no-ops (and costs ~nothing) when disabled."""
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timers.record(name, time.perf_counter() - start)
+
+
+#: The process-global observer every instrumentation point consults.
+OBS = Observer()
+
+
+def attach_sink(sink: Sink | str) -> Sink:
+    """Attach a sink to the global observer.
+
+    Accepts a :class:`Sink` instance or a path string (opened as a
+    :class:`JsonlSink`).  Returns the attached sink.
+    """
+    if isinstance(sink, str):
+        sink = JsonlSink(sink)
+    return OBS.attach_sink(sink)
+
+
+def detach_sink() -> None:
+    """Detach (and close) the global observer's sink."""
+    OBS.detach_sink()
+
+
+def enable_profiling() -> None:
+    """Turn on counter/timer recording on the global observer."""
+    OBS.enable_profiling()
+
+
+def disable_profiling() -> None:
+    """Turn off counter/timer recording on the global observer."""
+    OBS.disable_profiling()
+
+
+def reset() -> None:
+    """Return the global observer to its pristine disabled state."""
+    OBS.reset()
+
+
+@contextmanager
+def capture_events(sink: Sink | str) -> Iterator[Sink]:
+    """Attach a sink for the duration of a block, then detach it."""
+    attached = attach_sink(sink)
+    try:
+        yield attached
+    finally:
+        if OBS.sink is attached:
+            detach_sink()
+        else:  # someone replaced it mid-block; still release ours
+            attached.close()

@@ -1,0 +1,65 @@
+"""Wall-clock timer spans and their aggregation into a profile table.
+
+A span names a stage of the pipeline ("trace:generate",
+"predictor:fit", "run:CORP", ...); each completed span adds its
+duration to the stage's running (count, total) pair.  The profile
+report (``repro profile``) renders the aggregate as a per-stage table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TimerStat", "Timers"]
+
+
+@dataclass(frozen=True)
+class TimerStat:
+    """Aggregate of one stage's completed spans."""
+
+    name: str
+    count: int
+    total_s: float
+
+    @property
+    def mean_s(self) -> float:
+        """Mean span duration (0 when no spans completed)."""
+        return self.total_s / self.count if self.count else 0.0
+
+
+class Timers:
+    """Accumulates (count, total seconds) per stage name."""
+
+    __slots__ = ("_stats",)
+
+    def __init__(self) -> None:
+        self._stats: dict[str, list[float]] = {}
+
+    def record(self, name: str, seconds: float) -> None:
+        """Add one completed span to a stage."""
+        stat = self._stats.get(name)
+        if stat is None:
+            self._stats[name] = [1, seconds]
+        else:
+            stat[0] += 1
+            stat[1] += seconds
+
+    def snapshot(self) -> list[TimerStat]:
+        """Per-stage aggregates, largest total first."""
+        stats = [
+            TimerStat(name=name, count=int(c), total_s=t)
+            for name, (c, t) in self._stats.items()
+        ]
+        return sorted(stats, key=lambda s: -s.total_s)
+
+    def total(self, name: str) -> float:
+        """Total seconds recorded for one stage (0 if absent)."""
+        stat = self._stats.get(name)
+        return stat[1] if stat is not None else 0.0
+
+    def reset(self) -> None:
+        """Drop all recorded spans."""
+        self._stats.clear()
+
+    def __len__(self) -> int:
+        return len(self._stats)

@@ -1,0 +1,260 @@
+"""The repro.api facade, deprecation shims, LRU cache and event wiring."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.cluster.profiles import ClusterProfile
+from repro.core.config import CorpConfig
+from repro.experiments.runner import (
+    METHOD_ORDER,
+    PredictorCache,
+    run_methods,
+    run_specs,
+    sweep_specs,
+)
+from repro.obs import OBS, MemorySink, events_by_name, read_jsonl
+
+
+@pytest.fixture(autouse=True)
+def pristine_observer():
+    OBS.reset()
+    yield
+    OBS.reset()
+
+
+@pytest.fixture(scope="module")
+def small_scenario():
+    from repro.experiments.scenarios import cluster_scenario
+
+    return cluster_scenario(
+        n_jobs=20, seed=5, profile=ClusterProfile.palmetto(n_pms=4, vms_per_pm=2)
+    )
+
+
+TINY_CFG = dict(n_hidden_layers=1, units_per_layer=8, train_max_epochs=2)
+
+
+class TestBuildScenario:
+    def test_cluster_and_ec2(self):
+        assert api.build_scenario(jobs=30, testbed="cluster").n_jobs == 30
+        assert api.build_scenario(jobs=30, testbed="ec2").profile.name == "ec2"
+
+    def test_unknown_testbed_rejected(self):
+        with pytest.raises(ValueError, match="unknown testbed"):
+            api.build_scenario(testbed="mars")
+
+    def test_keyword_only(self):
+        with pytest.raises(TypeError):
+            api.build_scenario(30)
+
+
+class TestRunOne:
+    def test_unknown_method_rejected(self, small_scenario):
+        with pytest.raises(ValueError, match="unknown method"):
+            api.run_one(scenario=small_scenario, method="Borg")
+
+    def test_keyword_only(self, small_scenario):
+        with pytest.raises(TypeError):
+            api.run_one(small_scenario, "DRA")
+
+    def test_runs_one_method(self, small_scenario):
+        result = api.run_one(scenario=small_scenario, method="DRA")
+        assert result.scheduler_name == "DRA"
+        assert result.all_done
+
+
+class TestCompare:
+    def test_subset_of_methods(self, small_scenario):
+        results = api.compare(scenario=small_scenario, methods=("RCCR", "DRA"))
+        assert list(results) == ["RCCR", "DRA"]
+        assert all(r.all_done for r in results.values())
+
+    def test_keyword_only(self):
+        with pytest.raises(TypeError):
+            api.compare(50)
+
+    def test_events_force_serial(self, small_scenario):
+        # With a sink attached, workers>=2 must NOT fan out (events are
+        # process-local); the serial path still produces every result.
+        sink = api.attach_sink(MemorySink())
+        try:
+            results = api.compare(
+                scenario=small_scenario, methods=("DRA",), workers=4
+            )
+        finally:
+            api.detach_sink()
+        assert list(results) == ["DRA"]
+        assert sink.named("slot")  # events landed in-process
+
+
+class TestDeprecatedPositionalForms:
+    def test_run_methods_positional_warns(self, small_scenario):
+        with pytest.warns(DeprecationWarning, match="run_methods"):
+            results = run_methods(small_scenario, methods=("DRA",))
+        assert list(results) == ["DRA"]
+
+    def test_sweep_specs_positional_warns(self, small_scenario):
+        with pytest.warns(DeprecationWarning, match="sweep_specs"):
+            specs = sweep_specs([small_scenario])
+        assert len(specs) == len(METHOD_ORDER)
+
+    def test_run_specs_positional_warns(self):
+        with pytest.warns(DeprecationWarning, match="run_specs"):
+            assert run_specs([]) == []
+
+    def test_keyword_forms_do_not_warn(self, small_scenario, recwarn):
+        sweep_specs(scenarios=[small_scenario])
+        run_specs(specs=[])
+        deprecations = [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+        assert not deprecations
+
+    def test_scenario_still_required(self):
+        with pytest.raises(TypeError, match="scenario"):
+            run_methods()
+
+
+class TestPredictorCacheLru:
+    def test_eviction_and_hit_miss_counts(self, small_scenario):
+        history = small_scenario.history_trace()
+        cache = PredictorCache(maxsize=1)
+        cfg_a = CorpConfig(**TINY_CFG, seed=1)
+        cfg_b = CorpConfig(**TINY_CFG, seed=2)
+        first = cache.get(cfg_a, history)
+        assert cache.get(cfg_a, history) is first  # hit
+        cache.get(cfg_b, history)  # miss; evicts cfg_a
+        assert len(cache) == 1
+        assert cache.get(cfg_a, history) is not first  # refit after eviction
+        assert (cache.hits, cache.misses) == (1, 3)
+
+    def test_hit_miss_counters_reach_obs(self, small_scenario):
+        from repro import obs
+
+        history = small_scenario.history_trace()
+        cache = PredictorCache()
+        cfg = CorpConfig(**TINY_CFG, seed=3)
+        obs.enable_profiling()
+        cache.get(cfg, history)
+        cache.get(cfg, history)
+        assert OBS.counters.get("predictor_cache.miss") == 1.0
+        assert OBS.counters.get("predictor_cache.hit") == 1.0
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            PredictorCache(maxsize=0)
+
+    def test_plain_dict_seed_normalized(self):
+        cache = PredictorCache(_cache={})
+        assert len(cache) == 0
+
+
+class TestPlacementEventRegression:
+    def test_one_placement_event_per_placed_job(self, small_scenario):
+        """Every placed job yields exactly one placement event."""
+        sink = api.attach_sink(MemorySink())
+        try:
+            result = api.run_one(scenario=small_scenario, method="RCCR")
+        finally:
+            api.detach_sink()
+        placements = sink.named("placement")
+        placed_jobs = [e.fields["job"] for e in placements]
+        assert len(placed_jobs) == len(set(placed_jobs))  # one event per job
+        assert len(placed_jobs) == result.n_completed
+        assert result.all_done and result.n_rejected == 0
+        for event in placements:
+            assert event.fields["scheduler"] == "RCCR"
+            assert event.fields["vm"] is not None
+
+
+class TestDisabledOverhead:
+    def test_disabled_path_never_builds_events(self, small_scenario, monkeypatch):
+        """With the observer disabled, no emit/count/gauge call executes.
+
+        This is the structural guarantee behind the <5% no-sink overhead
+        budget: every instrumentation site guards on ``OBS.enabled``, so
+        the disabled cost is one attribute load and a branch — no Event
+        objects, no dict packing, no sink dispatch.
+        """
+        def explode(*args, **kwargs):
+            raise AssertionError("instrumentation ran while disabled")
+
+        # Observer uses __slots__, so patch the hooks on the class.
+        monkeypatch.setattr(type(OBS), "emit", explode)
+        monkeypatch.setattr(type(OBS), "count", explode)
+        monkeypatch.setattr(type(OBS), "gauge", explode)
+        result = api.run_one(scenario=small_scenario, method="DRA")
+        assert result.all_done
+
+
+class TestProfileRun:
+    def test_report_shape(self):
+        report = api.profile_run(jobs=10, methods=("DRA", "RCCR"))
+        assert set(report["summaries"]) == {"DRA", "RCCR"}
+        stages = {s["stage"] for s in report["stages"]}
+        assert "trace:generate" in stages
+        assert "run:DRA" in stages and "run:RCCR" in stages
+        assert report["total_s"] > 0
+        assert report["counters"]["sim.slots"] > 0
+        assert not OBS.enabled  # profiling switched back off
+
+
+class TestCliObservability:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_compare_events_writes_parseable_jsonl(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "ev.jsonl"
+        assert main(["compare", "--jobs", "15", "--events", str(out)]) == 0
+        grouped = events_by_name(read_jsonl(str(out)))
+        assert {"slot", "placement", "preemption"} <= set(grouped)
+        assert not OBS.enabled  # CLI detached its sink
+
+    def test_compare_events_with_workers_forces_serial(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "ev.jsonl"
+        code = main([
+            "compare", "--jobs", "12", "--workers", "4",
+            "--events", str(out), "--seed", "3",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "running serially" in err
+        assert list(read_jsonl(str(out)))  # events still captured
+
+    def test_profile_command_writes_report(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "profile.json"
+        assert main(["profile", "--jobs", "10", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "per-stage wall clock" in stdout and "counters" in stdout
+        report = json.loads(out.read_text())
+        assert report["stages"] and report["summaries"]
+
+    def test_cli_error_is_clean_nonzero(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        # Unwritable events path → OSError → one stderr line, exit 2.
+        bad = tmp_path / "missing-dir" / "ev.jsonl"
+        code = main(["compare", "--jobs", "10", "--events", str(bad)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_argparse_rejects_unknown_figure(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["figure", "fig99"])
+        assert exc.value.code != 0

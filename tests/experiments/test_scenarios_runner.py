@@ -92,9 +92,11 @@ class TestRunner:
         cfg = CorpConfig(n_hidden_layers=1, units_per_layer=8, train_max_epochs=3)
         history = small_scenario.history_trace()
         factories = default_schedulers(
-            corp_config=cfg, history=history, cache=cache
+            corp_config=cfg, history=history, predictor_cache=cache
         )
-        results = run_methods(small_scenario, factories, history=history)
+        results = run_methods(
+            scenario=small_scenario, factories=factories, history=history
+        )
         assert set(results) == set(METHOD_ORDER)
         for result in results.values():
             assert result.all_done
@@ -114,7 +116,7 @@ class TestRunSpecs:
     FAST_CFG = CorpConfig(n_hidden_layers=1, units_per_layer=8, train_max_epochs=3)
 
     def _specs(self, scenario):
-        return sweep_specs([scenario], corp_config=self.FAST_CFG, seed=5)
+        return sweep_specs(scenarios=[scenario], corp_config=self.FAST_CFG, seed=5)
 
     def test_sweep_specs_order(self, small_scenario):
         specs = self._specs(small_scenario)
@@ -123,14 +125,16 @@ class TestRunSpecs:
 
     def test_serial_matches_run_methods(self, small_scenario):
         specs = self._specs(small_scenario)
-        by_spec = run_specs(specs, cache=PredictorCache())
+        by_spec = run_specs(specs=specs, predictor_cache=PredictorCache())
         factories = default_schedulers(
             corp_config=self.FAST_CFG,
             history=small_scenario.history_trace(),
-            cache=PredictorCache(),
+            predictor_cache=PredictorCache(),
             seed=5,
         )
-        by_methods = run_methods(small_scenario, factories, seed=5)
+        by_methods = run_methods(
+            scenario=small_scenario, factories=factories, seed=5
+        )
         for spec, result in zip(specs, by_spec):
             a, b = result.summary(), by_methods[spec.method].summary()
             a.pop("allocation_latency_s"), b.pop("allocation_latency_s")
@@ -141,8 +145,8 @@ class TestRunSpecs:
         # processes must not change a single summary value (wall-clock
         # allocation latency aside, per the determinism convention).
         specs = self._specs(small_scenario)
-        serial = run_specs(specs, workers=0, cache=PredictorCache())
-        parallel = run_specs(specs, workers=2, cache=PredictorCache())
+        serial = run_specs(specs=specs, workers=0, predictor_cache=PredictorCache())
+        parallel = run_specs(specs=specs, workers=2, predictor_cache=PredictorCache())
         assert len(serial) == len(parallel) == len(specs)
         for s, p in zip(serial, parallel):
             assert s.scheduler_name == p.scheduler_name

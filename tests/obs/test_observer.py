@@ -1,0 +1,154 @@
+"""The global observer: enable/disable, counters, timers, spans."""
+
+import pytest
+
+from repro import obs
+from repro.obs import OBS, MemorySink, NullSink, capture_events
+from repro.obs.metrics import Counters
+from repro.obs.timers import Timers
+
+
+@pytest.fixture(autouse=True)
+def pristine_observer():
+    """Every test starts and ends with the observer fully disabled."""
+    OBS.reset()
+    yield
+    OBS.reset()
+
+
+class TestObserverState:
+    def test_disabled_by_default(self):
+        assert OBS.enabled is False and OBS.sink is None
+
+    def test_attach_detach_toggles_enabled(self):
+        sink = MemorySink()
+        obs.attach_sink(sink)
+        assert OBS.enabled and OBS.sink is sink
+        obs.detach_sink()
+        assert not OBS.enabled and OBS.sink is None
+
+    def test_attach_replacing_closes_old_sink(self):
+        closed = []
+
+        class Recording(MemorySink):
+            def close(self):
+                closed.append(True)
+
+        first = Recording()
+        obs.attach_sink(first)
+        obs.attach_sink(MemorySink())
+        assert closed == [True]
+
+    def test_profiling_enables_without_sink(self):
+        obs.enable_profiling()
+        assert OBS.enabled and OBS.sink is None
+        obs.disable_profiling()
+        assert not OBS.enabled
+
+    def test_reset_clears_everything(self):
+        obs.attach_sink(MemorySink())
+        obs.enable_profiling()
+        OBS.count("x")
+        with OBS.span("s"):
+            pass
+        OBS.reset()
+        assert not OBS.enabled and OBS.sink is None
+        assert len(OBS.counters) == 0
+        assert OBS.timers.snapshot() == []
+
+
+class TestEmitCountSpan:
+    def test_emit_goes_to_sink(self):
+        sink = obs.attach_sink(MemorySink())
+        OBS.emit("slot", slot=1, utilization=0.4)
+        assert sink.named("slot")[0].fields == {"slot": 1, "utilization": 0.4}
+
+    def test_emit_without_sink_is_noop(self):
+        OBS.emit("slot", slot=1)  # no sink, no error
+
+    def test_count_and_gauge_only_when_enabled(self):
+        OBS.count("c")
+        OBS.gauge("g", 2.0)
+        assert OBS.counters.get("c") == 0.0
+        obs.enable_profiling()
+        OBS.count("c", 3)
+        OBS.gauge("g", 2.0)
+        assert OBS.counters.get("c") == 3.0
+        assert OBS.counters.get_gauge("g") == 2.0
+
+    def test_span_records_only_when_enabled(self):
+        with OBS.span("stage"):
+            pass
+        assert OBS.timers.total("stage") == 0.0
+        obs.enable_profiling()
+        with OBS.span("stage"):
+            pass
+        stats = OBS.timers.snapshot()
+        assert stats[0].name == "stage" and stats[0].count == 1
+
+    def test_span_records_on_exception(self):
+        obs.enable_profiling()
+        with pytest.raises(RuntimeError):
+            with OBS.span("boom"):
+                raise RuntimeError
+        assert OBS.timers.snapshot()[0].count == 1
+
+
+class TestCaptureEvents:
+    def test_detaches_on_exit(self):
+        with capture_events(MemorySink()) as sink:
+            OBS.emit("a")
+            assert OBS.sink is sink
+        assert OBS.sink is None and not OBS.enabled
+        assert len(sink.events) == 1
+
+    def test_detaches_on_error(self):
+        with pytest.raises(ValueError):
+            with capture_events(MemorySink()):
+                raise ValueError
+        assert OBS.sink is None
+
+    def test_replacement_mid_block_still_released(self):
+        replacement = NullSink()
+        with capture_events(MemorySink()):
+            obs.attach_sink(replacement)
+        assert OBS.sink is replacement  # ours released, theirs kept
+        obs.detach_sink()
+
+    def test_path_string_builds_jsonl_sink(self, tmp_path):
+        path = tmp_path / "ev.jsonl"
+        with capture_events(str(path)):
+            OBS.emit("hello", n=1)
+        records = list(obs.read_jsonl(str(path)))
+        assert records == [{"event": "hello", "n": 1}]
+
+
+class TestCounters:
+    def test_inc_get_snapshot(self):
+        c = Counters()
+        c.inc("a")
+        c.inc("a", 2.5)
+        c.set_gauge("g", 7.0)
+        assert c.get("a") == 3.5
+        snap = c.snapshot()
+        assert snap["a"] == 3.5 and snap["gauge:g"] == 7.0
+
+    def test_reset(self):
+        c = Counters()
+        c.inc("a")
+        c.reset()
+        assert len(c) == 0 and c.get("a") == 0.0
+
+
+class TestTimers:
+    def test_record_and_snapshot_order(self):
+        t = Timers()
+        t.record("small", 0.1)
+        t.record("big", 1.0)
+        t.record("big", 1.0)
+        stats = t.snapshot()
+        assert [s.name for s in stats] == ["big", "small"]
+        big = stats[0]
+        assert big.count == 2 and big.total_s == pytest.approx(2.0)
+        assert big.mean_s == pytest.approx(1.0)
+        assert t.total("small") == pytest.approx(0.1)
