@@ -21,8 +21,12 @@ IEEE CLUSTER 2016), including every substrate the evaluation needs:
 
 * :mod:`repro.obs` — zero-dependency structured observability (events,
   counters, timer spans) behind an attachable sink;
+* :mod:`repro.faults` — deterministic fault injection (VM crashes,
+  capacity revocations, predictor outages, job failures) and the
+  resilience metrics the summaries report under churn;
 * :mod:`repro.api` — the stable keyword-only facade (``compare``,
-  ``sweep``, ``run_one``, ``attach_sink``) new code should use.
+  ``sweep``, ``run_one``, ``attach_sink``) and the **only supported
+  import surface** for new code.
 
 Quickstart::
 
@@ -34,6 +38,9 @@ Quickstart::
 
     with api.capture_events("events.jsonl"):
         api.run_one(scenario=api.build_scenario(jobs=50), method="CORP")
+
+    plan = api.build_fault_plan(seed=0, intensity=0.5)
+    faulted = api.compare(jobs=100, fault_plan=plan)
 """
 
 from .baselines import CloudScaleScheduler, DraScheduler, RccrScheduler
@@ -76,10 +83,20 @@ from .trace import (
     remove_long_lived,
     resample_trace,
 )
-from . import api, obs
-from .api import attach_sink, capture_events, compare, detach_sink, run_one, sweep
+from . import api, faults, obs
+from .api import (
+    attach_sink,
+    build_fault_plan,
+    capture_events,
+    compare,
+    detach_sink,
+    inject,
+    run_one,
+    sweep,
+)
+from .faults import FaultPlan, RetryPolicy
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CloudScaleScheduler",
@@ -117,10 +134,15 @@ __all__ = [
     "remove_long_lived",
     "resample_trace",
     "api",
+    "faults",
     "obs",
     "compare",
     "sweep",
     "run_one",
+    "inject",
+    "build_fault_plan",
+    "FaultPlan",
+    "RetryPolicy",
     "attach_sink",
     "detach_sink",
     "capture_events",

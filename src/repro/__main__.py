@@ -21,6 +21,7 @@ Examples::
 
     python -m repro compare --jobs 200 --workers 4
     python -m repro compare --jobs 50 --events /tmp/ev.jsonl
+    python -m repro compare --faults 0.5 --quick
     python -m repro profile --jobs 50
     python -m repro figure fig09 --testbed cluster
     python -m repro bench --quick --bench-out BENCH_runtime.json
@@ -51,20 +52,20 @@ def _open_events(args: argparse.Namespace) -> bool:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    workers = args.workers
-    capturing = _open_events(args)
-    if capturing and workers >= 2:
-        print(
-            "note: --events capture is process-local; running serially",
-            file=sys.stderr,
+    jobs = min(args.jobs, 30) if args.quick else args.jobs
+    fault_plan = None
+    if args.faults is not None:
+        fault_plan = api.build_fault_plan(
+            seed=args.fault_seed, intensity=args.faults
         )
-        workers = 0
+    capturing = _open_events(args)
     try:
         results = api.compare(
-            jobs=args.jobs,
+            jobs=jobs,
             testbed=args.testbed,
             seed=args.seed,
-            workers=workers,
+            workers=args.workers,
+            fault_plan=fault_plan,
         )
     finally:
         if capturing:
@@ -85,9 +86,35 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         format_table(
             ["method", "utilization", "slo_rate", "err_rate", "latency_s"],
             rows,
-            title=f"{args.jobs} jobs on the {args.testbed} profile",
+            title=f"{jobs} jobs on the {args.testbed} profile",
         )
     )
+    if any(r.resilience is not None for r in results.values()):
+        fault_rows = []
+        for method, result in results.items():
+            summary = result.summary()
+            fault_rows.append(
+                [
+                    method,
+                    int(summary["evictions"]),
+                    int(summary["retries"]),
+                    int(summary["gave_up"]),
+                    int(summary["slo_violations_faulted"]),
+                    summary["recovery_latency_slots"],
+                ]
+            )
+        print()
+        print(
+            format_table(
+                [
+                    "method", "evictions", "retries", "gave_up",
+                    "slo_viol_faulted", "recovery_slots",
+                ],
+                fault_rows,
+                title=f"resilience under fault intensity {args.faults:g} "
+                      f"(fault seed {args.fault_seed})",
+            )
+        )
     if capturing:
         print(f"\nwrote events to {args.events}")
     return 0
@@ -288,7 +315,24 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--events", metavar="PATH", default=None,
         help="stream structured decision events (slot, placement, "
-             "preemption, predictor_fit) to a JSONL file",
+             "preemption, predictor_fit, vm_fail, evict, retry) to a "
+             "JSONL file; with --workers, per-worker shards are merged",
+    )
+    compare.add_argument(
+        "--faults", nargs="?", const=0.3, type=float, default=None,
+        metavar="INTENSITY",
+        help="replay a seeded deterministic fault plan (VM crashes, "
+             "capacity revocations, predictor outages, job failures) of "
+             "the given intensity against every scheduler and report "
+             "resilience metrics (bare flag = 0.3)",
+    )
+    compare.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the fault plan (independent of the workload seed)",
+    )
+    compare.add_argument(
+        "--quick", action="store_true",
+        help="cap the job count at 30 (the CI smoke setting)",
     )
     compare.set_defaults(func=_cmd_compare)
 

@@ -6,13 +6,17 @@ keyword-only entry points plus the observability attachments:
 * :func:`run_one` — one (scenario, method) run → :class:`SimulationResult`;
 * :func:`compare` — all methods on one workload → ``method → result``;
 * :func:`sweep` — scenarios × methods, optionally process-parallel;
+* :func:`build_fault_plan` / :func:`inject` — seeded deterministic
+  fault schedules and their attachment to scenarios (``fault_plan=`` on
+  the entry points is the shorthand);
 * :func:`attach_sink` / :func:`detach_sink` / :func:`capture_events` —
   stream structured decision events (JSONL or custom sinks);
 * :func:`profile_run` — a profiled comparison run returning the
   per-stage timing table ``repro profile`` prints.
 
-Deeper imports (``repro.experiments.runner`` and friends) keep working,
-but new code should come through here: these signatures are the ones the
+This facade is the **only supported import surface**: deeper imports
+(``repro.experiments.runner`` and friends) may break without notice
+between releases, while the signatures here are the ones the
 deprecation policy protects.
 """
 
@@ -32,6 +36,7 @@ from .experiments.runner import (
     sweep_specs,
 )
 from .experiments.scenarios import Scenario, cluster_scenario, ec2_scenario
+from .faults.plan import FaultPlan, RetryPolicy, build_fault_plan
 from .obs import OBS, Sink
 from .obs import attach_sink as _attach_sink
 from .obs import capture_events, detach_sink
@@ -41,10 +46,14 @@ __all__ = [
     "sweep",
     "run_one",
     "profile_run",
+    "inject",
+    "build_fault_plan",
     "attach_sink",
     "detach_sink",
     "capture_events",
     "build_scenario",
+    "FaultPlan",
+    "RetryPolicy",
     "PredictorCache",
     "Scenario",
     "SimulationResult",
@@ -79,6 +88,54 @@ def build_scenario(
     return builder(jobs, seed=seed)
 
 
+def inject(*, scenario: Scenario, plan: FaultPlan | None) -> Scenario:
+    """A copy of ``scenario`` replaying ``plan`` (``None`` removes one).
+
+    The returned scenario runs the same workload under the plan's fault
+    schedule; the original is untouched (scenarios are immutable).
+    """
+    return scenario.with_fault_plan(plan)
+
+
+def _apply_fault_plan(
+    scenario: Scenario, fault_plan: FaultPlan | None
+) -> Scenario:
+    """Fold an explicit ``fault_plan=`` argument into the scenario."""
+    if fault_plan is None:
+        return scenario
+    return scenario.with_fault_plan(fault_plan)
+
+
+def _parallel_events_path(workers: int) -> str | None:
+    """How a parallel run coexists with attached observability.
+
+    Returns the shard base path (the attached sink's file path) when
+    per-worker event shards can be merged on join, or ``None`` when no
+    sink is attached.  Observability modes that cannot cross process
+    boundaries raise a clear :class:`ValueError` instead of silently
+    forcing the serial path.
+    """
+    if workers < 2:
+        return None
+    if OBS.profiling:
+        raise ValueError(
+            "workers >= 2 is incompatible with profiling: counters and "
+            "timers are process-local. Use workers=0 while profiling."
+        )
+    sink = OBS.sink
+    if sink is None:
+        return None
+    path = getattr(sink, "path", None)
+    if path is None:
+        raise ValueError(
+            "workers >= 2 with an in-memory or stream-backed sink attached: "
+            "events recorded in worker processes cannot reach it. Attach a "
+            "path-backed JSONL sink (attach_sink('events.jsonl')) to have "
+            "per-worker shards merged on join, or run with workers=0."
+        )
+    return path
+
+
 def run_one(
     *,
     scenario: Scenario,
@@ -86,12 +143,14 @@ def run_one(
     seed: int = 0,
     corp_config: CorpConfig | None = None,
     predictor_cache: PredictorCache | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> SimulationResult:
-    """Run one method on one scenario."""
+    """Run one method on one scenario (optionally under a fault plan)."""
     if method not in METHOD_ORDER:
         raise ValueError(
             f"unknown method {method!r} (expected one of {METHOD_ORDER})"
         )
+    scenario = _apply_fault_plan(scenario, fault_plan)
     with OBS.span("trace:generate"):
         trace = scenario.evaluation_trace()
         history = scenario.history_trace()
@@ -115,22 +174,30 @@ def compare(
     methods: Iterable[str] = METHOD_ORDER,
     workers: int = 0,
     predictor_cache: PredictorCache | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> dict[str, SimulationResult]:
     """Run every method on the same workload; ``method → result``.
 
     Pass either a prebuilt ``scenario`` or the (``jobs``, ``testbed``,
-    ``seed``) triple to build one.  ``workers >= 2`` fans the methods
-    over worker processes — results are bit-identical to serial, but
-    observability (events/spans) is process-local, so the serial path
-    is forced whenever a sink is attached or profiling is on.
+    ``seed``) triple to build one; ``fault_plan=`` replays a fault
+    schedule against every method.  ``workers >= 2`` fans the methods
+    over worker processes — results are bit-identical to serial.  With a
+    path-backed JSONL sink attached, each worker records its events to a
+    shard merged (in method order) on join; in-memory sinks and
+    profiling cannot cross processes and raise :class:`ValueError`.
     """
     if scenario is None:
         scenario = build_scenario(jobs=jobs, testbed=testbed, seed=seed)
+    scenario = _apply_fault_plan(scenario, fault_plan)
     methods = tuple(methods)
-    if workers >= 2 and not OBS.enabled:
+    if workers >= 2:
+        events_path = _parallel_events_path(workers)
         specs = sweep_specs(scenarios=[scenario], methods=methods, seed=seed)
         by_spec = run_specs(
-            specs=specs, workers=workers, predictor_cache=predictor_cache
+            specs=specs,
+            workers=workers,
+            predictor_cache=predictor_cache,
+            events_path=events_path,
         )
         return {s.method: r for s, r in zip(specs, by_spec)}
     return run_methods(
@@ -149,19 +216,28 @@ def sweep(
     corp_config: CorpConfig | None = None,
     workers: int = 0,
     predictor_cache: PredictorCache | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> list[SimulationResult]:
     """Scenarios × methods, in sweep order (scenario-major).
 
-    The list aligns with ``sweep_specs(scenarios=...)``.  As with
-    :func:`compare`, worker fan-out is skipped while observability is
-    recording (events and spans are process-local).
+    The list aligns with ``sweep_specs(scenarios=...)``.  A
+    ``fault_plan=`` here applies the same schedule to *every* scenario
+    (build per-scenario plans with :func:`inject` for anything finer,
+    e.g. a fault-intensity sweep).  Parallel observability follows
+    :func:`compare`'s rules: path-backed JSONL sinks shard per worker
+    and merge on join; other recording modes raise :class:`ValueError`
+    with ``workers >= 2``.
     """
+    scenarios = [_apply_fault_plan(s, fault_plan) for s in scenarios]
     specs = sweep_specs(
         scenarios=scenarios, methods=methods, seed=seed, corp_config=corp_config
     )
-    effective_workers = 0 if OBS.enabled else workers
+    events_path = _parallel_events_path(workers)
     return run_specs(
-        specs=specs, workers=effective_workers, predictor_cache=predictor_cache
+        specs=specs,
+        workers=workers,
+        predictor_cache=predictor_cache,
+        events_path=events_path,
     )
 
 

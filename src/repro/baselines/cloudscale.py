@@ -99,8 +99,16 @@ class CloudScaleScheduler(ProvisioningSchedulerBase):
     def on_slot_start(self, slot: int) -> None:
         """Window refresh plus the periodic per-job cap recomputation."""
         super().on_slot_start(slot)
+        if self._degraded:
+            return  # elastic scaling is off while the predictor is down
         if slot % (self.window_slots * self.cap_period_windows) == 0:
             self._apply_demand_caps()
+
+    def on_degraded(self, slot: int) -> None:
+        """Requested-resource fallback: lift every demand-based cap."""
+        for vm in self.vms:
+            for placement in vm.placements:
+                placement.granted_cap = None
 
     def _apply_demand_caps(self) -> None:
         """Elastic scaling: cap each grant at predicted demand + pad.

@@ -87,8 +87,16 @@ class DraScheduler(ProvisioningSchedulerBase):
     def on_slot_start(self, slot: int) -> None:
         """Window refresh plus the periodic share-based redistribution."""
         super().on_slot_start(slot)
+        if self._degraded:
+            return  # no estimates to redistribute on while degraded
         if slot % self.window_slots == 0:
             self._redistribute()
+
+    def on_degraded(self, slot: int) -> None:
+        """Requested-resource fallback: lift every demand-based cap."""
+        for vm in self.vms:
+            for p in vm.placements:
+                p.granted_cap = None
 
     def _redistribute(self) -> None:
         """Equitable share-based redistribution with demand caps.

@@ -32,6 +32,7 @@ class JobState(Enum):
     PENDING = "pending"      # submitted, waiting for placement
     RUNNING = "running"      # placed on a VM, making progress
     COMPLETED = "completed"  # all work done
+    FAILED = "failed"        # gave up after faults (retries/deadline exhausted)
 
 
 @dataclass
@@ -65,6 +66,13 @@ class Job:
     completion_slot: Optional[int] = None
     progress: float = 0.0
     opportunistic: bool = False
+    #: Transient failures this job has retried from (fault injection).
+    retries: int = 0
+    #: Times this job was evicted by a VM crash (fault injection).
+    evictions: int = 0
+    #: Slot of the job's first fault (eviction or transient failure);
+    #: the retry policy's give-up deadline is measured from here.
+    first_fault_slot: Optional[int] = None
     #: Per-slot rates actually achieved while running (for diagnostics).
     rate_history: list[float] = field(default_factory=list)
     #: Per-slot demand vectors observed while running — the utilization
@@ -139,6 +147,33 @@ class Job:
             self.progress = float(self.nominal_slots)
             self.state = JobState.COMPLETED
             self.completion_slot = slot
+
+    def requeue(self, slot: int) -> None:
+        """Return a running job to the queue after a fault, losing progress.
+
+        Crash evictions and transient failures both pass through here:
+        the in-memory state of a short job does not survive its VM, so
+        the work restarts from zero.  The demand/rate logs are kept —
+        they are real observations the monitoring layer already made.
+        """
+        if self.state is not JobState.RUNNING:
+            raise RuntimeError(f"job {self.job_id} cannot be requeued from {self.state}")
+        self.state = JobState.PENDING
+        self.start_slot = None
+        self.opportunistic = False
+        self.progress = 0.0
+        self._demand_cache = None
+        if self.first_fault_slot is None:
+            self.first_fault_slot = slot
+
+    def fail_permanently(self, slot: int) -> None:
+        """Give up on the job (retry budget or deadline exhausted)."""
+        if self.state in (JobState.COMPLETED, JobState.FAILED):
+            raise RuntimeError(f"job {self.job_id} cannot fail from {self.state}")
+        self.state = JobState.FAILED
+        self.completion_slot = None
+        if self.first_fault_slot is None:
+            self.first_fault_slot = slot
 
     # ------------------------------------------------------------------
     def utilization_history(self) -> np.ndarray:

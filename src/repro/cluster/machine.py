@@ -73,7 +73,18 @@ class VirtualMachine:
         if not capacity.is_nonnegative() or not capacity.any_positive():
             raise ValueError("VM capacity must be non-negative and non-zero")
         self.vm_id = vm_id
-        self.capacity = capacity
+        #: Nominal (provisioned) capacity; ``capacity`` reflects any
+        #: transient revocation currently in force.
+        self.base_capacity = capacity
+        self._effective_capacity = capacity
+        self._capacity_scale = 1.0
+        #: Bumped whenever the effective capacity changes, so callers
+        #: that memoize capacity-derived values (e.g. the simulator's
+        #: ``max_vm_capacity``) can key their caches on it.
+        self.capacity_version = 0
+        #: False while the VM is crashed (fault injection): it accepts
+        #: no placements and executes no slots until restored.
+        self.online = True
         self.pm_id = pm_id
         self.placements: list[Placement] = []
         # Incrementally maintained commitment total — committed() sits on
@@ -88,6 +99,37 @@ class VirtualMachine:
         #: this is the series the predictors train on.
         self._unused_history: list[np.ndarray] = []
         self._demand_history: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    # capacity (revocation-aware)
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> ResourceVector:
+        """Effective capacity: nominal, shrunk by any active revocation."""
+        return self._effective_capacity
+
+    def set_capacity_scale(self, scale: float) -> None:
+        """Transiently scale the effective capacity (fault injection).
+
+        ``scale=1.0`` restores the nominal capacity.  Commitments are
+        *not* returned: while revoked, committed reservations may exceed
+        what the VM can physically serve, and ``execute_slot``'s
+        capacity clamp squeezes the placements — riders first.
+        """
+        scale = float(scale)
+        if not 0.0 < scale <= 1.0:
+            raise ValueError("capacity scale must be in (0, 1]")
+        if scale == self._capacity_scale:
+            return
+        self._capacity_scale = scale
+        if scale == 1.0:
+            self._effective_capacity = self.base_capacity
+        else:
+            self._effective_capacity = ResourceVector._wrap(
+                self.base_capacity.as_array() * scale
+            )
+        self.capacity_version += 1
+        self._invalidate_commitment()
 
     # ------------------------------------------------------------------
     # commitment accounting
@@ -167,6 +209,45 @@ class VirtualMachine:
             p for p in self.placements if p.job.state is not JobState.COMPLETED
         ]
         return done
+
+    # ------------------------------------------------------------------
+    # fault injection (crash/restore, targeted eviction)
+    # ------------------------------------------------------------------
+    def evict_all(self) -> list[Job]:
+        """Drop every placement, releasing all commitment; return the jobs."""
+        jobs = [p.job for p in self.placements]
+        self.placements = []
+        self._committed[:] = 0.0
+        self._invalidate_commitment()
+        return jobs
+
+    def evict_job(self, job_id: int) -> Optional[Job]:
+        """Drop one job's placement (transient failure); None if absent."""
+        for i, p in enumerate(self.placements):
+            if p.job.job_id == job_id:
+                del self.placements[i]
+                if not p.opportunistic:
+                    self._committed -= p.reserved.as_array()
+                    np.maximum(self._committed, 0.0, out=self._committed)
+                self._invalidate_commitment()
+                return p.job
+        return None
+
+    def crash(self) -> list[Job]:
+        """Take the VM offline, evicting everything and losing histories.
+
+        A crashed VM executes no slots and accepts no placements; its
+        usage histories are in-memory state and do not survive, so the
+        predictors start cold after the restart.
+        """
+        self.online = False
+        self._unused_history.clear()
+        self._demand_history.clear()
+        return self.evict_all()
+
+    def restore(self) -> None:
+        """Bring a crashed VM back online (empty, histories cold)."""
+        self.online = True
 
     # ------------------------------------------------------------------
     # slot execution

@@ -17,6 +17,8 @@ from ..obs import OBS
 from .job import Job, JobState
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a trace<->cluster import cycle
+    from ..faults.injector import FaultInjector
+    from ..faults.plan import FaultPlan
     from ..trace.records import Trace
 from .machine import PhysicalMachine, SlotOutcome, VirtualMachine
 from .metrics import MetricsRecorder
@@ -64,11 +66,19 @@ class SimulationResult:
     allocation_latency_s: float
     prediction_error_rate: Optional[float]
     jobs: list[Job]
+    #: Jobs that permanently failed under fault injection (gave up).
+    n_failed: int = 0
+    #: Resilience metrics from the fault injector; ``None`` when the run
+    #: had no fault plan, so fault-free summaries stay byte-identical to
+    #: pre-fault-layer output.
+    resilience: Optional[dict[str, float]] = None
 
     @property
     def all_done(self) -> bool:
-        """Every submitted job either completed or was rejected."""
-        return self.n_completed + self.n_rejected == self.n_submitted
+        """Every submitted job completed, was rejected, or gave up."""
+        return (
+            self.n_completed + self.n_rejected + self.n_failed == self.n_submitted
+        )
 
     def summary(self) -> dict[str, float]:
         """Flat scalar summary used by the report tables."""
@@ -84,6 +94,9 @@ class SimulationResult:
             out[f"utilization_{kind.label.lower()}"] = value
         if self.prediction_error_rate is not None:
             out["prediction_error_rate"] = self.prediction_error_rate
+        if self.resilience is not None:
+            out["n_failed"] = float(self.n_failed)
+            out.update(self.resilience)
         return out
 
 
@@ -95,6 +108,8 @@ class ClusterSimulator:
         profile: ClusterProfile,
         scheduler: Scheduler,
         config: SimulationConfig | None = None,
+        *,
+        fault_plan: "FaultPlan | None" = None,
     ) -> None:
         self.profile = profile
         self.scheduler = scheduler
@@ -108,19 +123,33 @@ class ClusterSimulator:
         self.running: list[Job] = []
         self.rejected: list[Job] = []
         self.completed: list[Job] = []
+        self.failed: list[Job] = []
         self.current_slot: int = 0
-        self._max_capacity_cache: tuple[tuple[int, ...], ResourceVector] | None = None
+        self._max_capacity_cache: tuple[tuple[object, ...], ResourceVector] | None = None
+        # An empty plan builds no injector: the fault layer then adds
+        # zero work (and zero behavioural difference) to the slot loop.
+        self.faults: "FaultInjector | None" = None
+        if fault_plan:
+            from ..faults.injector import FaultInjector
+
+            self.faults = FaultInjector(fault_plan)
         scheduler.bind(self)
+
+    @property
+    def predictor_available(self) -> bool:
+        """False while a fault plan has the prediction service down."""
+        return self.faults is None or self.faults.predictor_available
 
     # ------------------------------------------------------------------
     def max_vm_capacity(self) -> ResourceVector:
         """Elementwise max capacity across VMs (the ``C'`` of Eq. 22).
 
         Memoized: the simulator consults it for every arriving job but
-        the VM set only changes if the cluster is reconfigured, so the
-        cache is keyed on the VM identities and rebuilt only then.
+        capacity only changes when the cluster is reconfigured or a
+        fault revokes/restores capacity, so the cache is keyed on the
+        VM identities plus their capacity versions.
         """
-        key = tuple(id(vm) for vm in self.vms)
+        key = tuple((id(vm), vm.capacity_version) for vm in self.vms)
         cached = self._max_capacity_cache
         if cached is not None and cached[0] == key:
             return cached[1]
@@ -158,13 +187,22 @@ class ClusterSimulator:
         while slot < cfg.max_slots:
             # Stop once all arrivals happened (arrival slots are
             # 0..n_slots-1) and either draining is off or nothing is
-            # left in flight.  Checking *before* executing means a run
-            # never spends a guaranteed-empty trailing slot.
+            # left in flight (including jobs waiting out a retry
+            # backoff).  Checking *before* executing means a run never
+            # spends a guaranteed-empty trailing slot.
             if slot >= workload.n_slots and (
-                not cfg.drain or (not self.pending and not self.running)
+                not cfg.drain
+                or (
+                    not self.pending
+                    and not self.running
+                    and not (self.faults is not None and self.faults.has_backlog())
+                )
             ):
                 break
             self.current_slot = slot
+            # 0. faults due this slot (restores, evictions, outages)
+            if self.faults is not None:
+                self.faults.begin_slot(slot, self)
             # 1. arrivals
             for record in workload.arrivals_at(slot):
                 job = Job(record=record, submit_slot=slot)
@@ -182,6 +220,8 @@ class ClusterSimulator:
             if placed_ids:
                 self.pending = [j for j in self.pending if j.job_id not in placed_ids]
                 self.running.extend(placed)
+                if self.faults is not None:
+                    self.faults.note_placements(placed, slot)
 
             # 3. execute the slot on every VM (accumulated as flat
             # arrays — per-VM ResourceVector sums dominated this loop)
@@ -189,6 +229,8 @@ class ClusterSimulator:
             total_demand = np.zeros(NUM_RESOURCES)
             total_committed = np.zeros(NUM_RESOURCES)
             for vm in self.vms:
+                if not vm.online:
+                    continue
                 outcome = vm.execute_slot(slot)
                 outcomes[vm.vm_id] = outcome
                 total_demand += outcome.served_demand.as_array()
@@ -236,6 +278,11 @@ class ClusterSimulator:
             )
             if np.isnan(error_rate):  # pragma: no cover - defensive
                 error_rate = None
+        jobs = self.completed + self.running + self.pending + self.rejected
+        resilience = None
+        if self.faults is not None:
+            jobs += self.failed + self.faults.backlog_jobs()
+            resilience = self.faults.result_stats(self)
         return SimulationResult(
             scheduler_name=self.scheduler.name,
             metrics=self.metrics,
@@ -246,5 +293,7 @@ class ClusterSimulator:
             n_rejected=len(self.rejected),
             allocation_latency_s=self.scheduler.latency.total_s,
             prediction_error_rate=error_rate,
-            jobs=self.completed + self.running + self.pending + self.rejected,
+            jobs=jobs,
+            n_failed=len(self.failed),
+            resilience=resilience,
         )

@@ -95,6 +95,10 @@ class ProvisioningSchedulerBase(Scheduler):
         #: window's valid slots — the realized counterpart the forecast
         #: is scored against (see ``actual_aggregate``).
         self._window_actual: dict[int, tuple[np.ndarray, np.ndarray, int]] = {}
+        #: True while the prediction service is down (fault injection):
+        #: no forecasts, no opportunistic placement — provisioning falls
+        #: back to the jobs' requested resources.
+        self._degraded = False
 
     # ------------------------------------------------------------------
     # subclass hooks
@@ -139,9 +143,49 @@ class ProvisioningSchedulerBase(Scheduler):
     # window mechanics
     # ------------------------------------------------------------------
     def on_slot_start(self, slot: int) -> None:
-        """Refresh forecasts at every window boundary."""
+        """Refresh forecasts at every window boundary.
+
+        During a predictor outage the scheme degrades gracefully: no
+        forecasts are made, opportunistic placement is disabled and any
+        prediction-derived state is dropped (``on_degraded``).  Recovery
+        refreshes forecasts immediately rather than waiting for the next
+        window boundary.
+        """
+        degraded = self._sim is not None and not self.sim.predictor_available
+        if degraded != self._degraded:
+            self._degraded = degraded
+            if degraded:
+                self._enter_degraded(slot)
+            else:
+                OBS.emit(
+                    "degraded_mode", slot=slot, scheduler=self.name, active=False
+                )
+                self._refresh_forecasts()
+                return
+        if self._degraded:
+            return
         if slot % self.window_slots == 0:
             self._refresh_forecasts()
+
+    def _enter_degraded(self, slot: int) -> None:
+        """Drop all prediction-derived state for the outage's duration.
+
+        Window tracking is discarded *without* emitting samples —
+        realized availability observed during an outage says nothing
+        about predictor quality.
+        """
+        self._window_forecast.clear()
+        self._window_raw_forecast.clear()
+        self._window_committed.clear()
+        self._window_jobset.clear()
+        self._window_actual.clear()
+        self._available_unused.clear()
+        self.on_degraded(slot)
+        OBS.emit("degraded_mode", slot=slot, scheduler=self.name, active=True)
+        OBS.count("faults.degraded_mode")
+
+    def on_degraded(self, slot: int) -> None:
+        """Subclass hook: drop scheme-specific prediction-derived state."""
 
     def _refresh_forecasts(self) -> None:
         # Emit the previous window's samples before starting a new one.
@@ -153,6 +197,8 @@ class ProvisioningSchedulerBase(Scheduler):
         self._window_actual.clear()
         self._available_unused.clear()
         for vm in self.vms:
+            if not vm.online:
+                continue  # a crashed VM has no usage to poll
             # Polling a VM's usage history is one remote operation.
             self.latency.charge_comm(1)
             raw = np.asarray(self.predict_vm_unused(vm), dtype=np.float64)
@@ -179,13 +225,6 @@ class ProvisioningSchedulerBase(Scheduler):
             self._available_unused[vm.vm_id] = np.clip(
                 np.minimum(adjusted, committed_slack), 0.0, None
             )
-
-    def _vm_capacity_by_id(self, vm_id: int) -> np.ndarray:
-        cache = getattr(self, "_capacity_cache", None)
-        if cache is None:
-            cache = {vm.vm_id: vm.capacity.as_array() for vm in self.vms}
-            self._capacity_cache = cache
-        return cache[vm_id]
 
     def _drop_window_tracking(self, vm_id: int) -> None:
         for store in (
@@ -246,7 +285,9 @@ class ProvisioningSchedulerBase(Scheduler):
             if vm.vm_id in self._window_forecast
         }
         for vm_id in list(self._window_forecast):
-            if jobsets[vm_id] != self._window_jobset[vm_id]:
+            # A VM absent from the outcomes crashed this slot (its
+            # eviction already churned the jobset, but guard anyway).
+            if vm_id not in outcomes or jobsets[vm_id] != self._window_jobset[vm_id]:
                 if vm_id in self._window_actual:
                     # Emit the partial-window sample, then stop tracking.
                     self._emit_one(vm_id)
@@ -274,7 +315,9 @@ class ProvisioningSchedulerBase(Scheduler):
             return []
         placed: list[Job] = []
         allow_opportunistic = (
-            self.supports_opportunistic and self.opportunistic_allowed()
+            self.supports_opportunistic
+            and not self._degraded
+            and self.opportunistic_allowed()
         )
         for entity in self.make_entities(pending):
             placed.extend(
@@ -319,7 +362,7 @@ class ProvisioningSchedulerBase(Scheduler):
         return [
             (vm, ResourceVector(self._available_unused[vm.vm_id]))
             for vm in self.vms
-            if vm.vm_id in self._available_unused
+            if vm.online and vm.vm_id in self._available_unused
         ]
 
     def _try_opportunistic(self, entity: JobEntity, slot: int) -> bool:
@@ -338,7 +381,7 @@ class ProvisioningSchedulerBase(Scheduler):
         return True
 
     def _try_primary(self, entity: JobEntity, slot: int) -> bool:
-        candidates = [(vm, vm.unallocated()) for vm in self.vms]
+        candidates = [(vm, vm.unallocated()) for vm in self.vms if vm.online]
         vm = self.choose_vm(entity.demand, candidates)
         if vm is None:
             return False

@@ -21,7 +21,14 @@ from .runner import (
     run_methods,
     run_scenario,
 )
-from .scenarios import JOB_COUNTS, Scenario, cluster_scenario, ec2_scenario
+from .scenarios import (
+    FAULT_INTENSITIES,
+    JOB_COUNTS,
+    Scenario,
+    cluster_scenario,
+    ec2_scenario,
+    fault_sweep_scenarios,
+)
 from .sweep import SweepResult, average_summaries, sweep
 from .table2 import render_table2, table2_rows
 
@@ -46,10 +53,12 @@ __all__ = [
     "default_schedulers",
     "run_methods",
     "run_scenario",
+    "FAULT_INTENSITIES",
     "JOB_COUNTS",
     "Scenario",
     "cluster_scenario",
     "ec2_scenario",
+    "fault_sweep_scenarios",
     "render_line_chart",
     "save_figure_svg",
     "render_table2",

@@ -4,17 +4,17 @@ Also hosts the :class:`PredictorCache`, which shares CORP's offline
 DNN/HMM fit across the many runs of a sweep — the paper trains once on
 the historical Google-trace data and reuses the models.
 
-API convention (since the :mod:`repro.api` redesign): the public entry
-points :func:`run_methods`, :func:`run_specs` and :func:`sweep_specs`
-take keyword-only arguments with uniform names (``scenario=``,
-``specs=``, ``scenarios=``, ``predictor_cache=``, ``workers=``).  The
-old positional forms and the old ``cache=`` keyword still work for one
-release but raise :class:`DeprecationWarning`.
+API convention (finalized in v1.2): the public entry points
+:func:`run_methods`, :func:`run_specs` and :func:`sweep_specs` take
+keyword-only arguments with uniform names (``scenario=``, ``specs=``,
+``scenarios=``, ``predictor_cache=``, ``workers=``).  The v1.1
+deprecation shims (positional forms, the ``cache=`` spelling) are gone:
+those calls now raise :class:`TypeError`.
 """
 
 from __future__ import annotations
 
-import warnings
+import os
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -27,6 +27,7 @@ from ..core.config import CorpConfig
 from ..core.corp import CorpScheduler
 from ..core.predictor import CorpPredictor
 from ..obs import OBS
+from ..obs.events import Event, JsonlSink, read_jsonl
 from ..trace.records import Trace
 from .scenarios import Scenario
 
@@ -45,33 +46,6 @@ __all__ = [
 METHOD_ORDER: tuple[str, ...] = ("CORP", "RCCR", "CloudScale", "DRA")
 
 SchedulerFactory = Callable[[], Scheduler]
-
-
-def _warn_positional(func: str, hint: str) -> None:
-    warnings.warn(
-        f"positional arguments to {func}() are deprecated; "
-        f"call it as {func}({hint})",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def _resolve_cache(
-    func: str,
-    predictor_cache: "PredictorCache | None",
-    cache: "PredictorCache | None",
-) -> "PredictorCache | None":
-    """Fold the deprecated ``cache=`` spelling into ``predictor_cache=``."""
-    if cache is not None:
-        warnings.warn(
-            f"the cache= keyword of {func}() is deprecated; "
-            "use predictor_cache=",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        if predictor_cache is None:
-            predictor_cache = cache
-    return predictor_cache
 
 
 @dataclass
@@ -150,7 +124,6 @@ def default_schedulers(
     corp_config: CorpConfig | None = None,
     history: Trace | None = None,
     predictor_cache: PredictorCache | None = None,
-    cache: PredictorCache | None = None,
     seed: int = 0,
 ) -> dict[str, SchedulerFactory]:
     """Factories for the four methods with the paper's default settings.
@@ -159,9 +132,6 @@ def default_schedulers(
     CORP's predictor so the expensive offline phase is shared across
     runs.
     """
-    predictor_cache = _resolve_cache(
-        "default_schedulers", predictor_cache, cache
-    )
     cfg = corp_config or CorpConfig(seed=seed)
 
     def make_corp() -> Scheduler:
@@ -196,9 +166,15 @@ def run_scenario(
     """Run one scheduler over one scenario.
 
     ``trace``/``history`` may be passed in to share generation across
-    methods (the paper replays the same trace for every scheme).
+    methods (the paper replays the same trace for every scheme).  The
+    scenario's ``fault_plan`` (if any) is replayed against the run.
     """
-    sim = ClusterSimulator(scenario.profile, scheduler, scenario.sim_config)
+    sim = ClusterSimulator(
+        scenario.profile,
+        scheduler,
+        scenario.sim_config,
+        fault_plan=scenario.fault_plan,
+    )
     eval_trace = trace if trace is not None else scenario.evaluation_trace()
     hist_trace = history if history is not None else scenario.history_trace()
     with OBS.span(f"run:{scheduler.name}"):
@@ -206,32 +182,18 @@ def run_scenario(
 
 
 def run_methods(
-    *args,
-    scenario: Scenario | None = None,
+    *,
+    scenario: Scenario,
     factories: Mapping[str, SchedulerFactory] | None = None,
     methods: Iterable[str] = METHOD_ORDER,
     history: Trace | None = None,
     predictor_cache: PredictorCache | None = None,
-    cache: PredictorCache | None = None,
     seed: int = 0,
 ) -> dict[str, SimulationResult]:
     """Run every requested method on the *same* evaluation trace.
 
     Keyword-only: ``run_methods(scenario=..., predictor_cache=...)``.
-    The legacy positional form ``run_methods(scenario, factories)`` and
-    the ``cache=`` keyword are deprecated shims.
     """
-    if args:
-        _warn_positional("run_methods", "scenario=..., factories=...")
-        if len(args) > 2:
-            raise TypeError("run_methods takes at most 2 positional arguments")
-        if scenario is None:
-            scenario = args[0]
-        if len(args) == 2 and factories is None:
-            factories = args[1]
-    if scenario is None:
-        raise TypeError("run_methods() requires scenario=")
-    predictor_cache = _resolve_cache("run_methods", predictor_cache, cache)
     with OBS.span("trace:generate"):
         eval_trace = scenario.evaluation_trace()
         hist_trace = (
@@ -272,25 +234,16 @@ class RunSpec:
 
 
 def sweep_specs(
-    *args,
-    scenarios: Iterable[Scenario] | None = None,
+    *,
+    scenarios: Iterable[Scenario],
     methods: Iterable[str] = METHOD_ORDER,
     seed: int = 0,
     corp_config: CorpConfig | None = None,
 ) -> list[RunSpec]:
     """The full cross product of scenarios × methods, in sweep order.
 
-    Keyword-only: ``sweep_specs(scenarios=[...])``.  The legacy
-    positional form is a deprecated shim.
+    Keyword-only: ``sweep_specs(scenarios=[...])``.
     """
-    if args:
-        _warn_positional("sweep_specs", "scenarios=[...]")
-        if len(args) > 1:
-            raise TypeError("sweep_specs takes at most 1 positional argument")
-        if scenarios is None:
-            scenarios = args[0]
-    if scenarios is None:
-        raise TypeError("sweep_specs() requires scenarios=")
     methods = tuple(methods)
     return [
         RunSpec(
@@ -336,23 +289,53 @@ def _init_worker(prefit: dict) -> None:
     _WORKER_CACHE = PredictorCache(_cache=prefit)
 
 
-def _run_spec_in_worker(spec: RunSpec) -> SimulationResult:
+def _run_spec_in_worker(
+    spec: RunSpec, shard_path: str | None = None
+) -> SimulationResult:
     cache = _WORKER_CACHE if _WORKER_CACHE is not None else PredictorCache()
-    return _execute_spec(spec, cache)
+    if shard_path is None:
+        return _execute_spec(spec, cache)
+    # Event capture in a pooled worker: record this spec's events into
+    # its own shard file; the parent merges shards in spec order.
+    from ..obs import capture_events
+
+    with capture_events(JsonlSink(shard_path)):
+        return _execute_spec(spec, cache)
+
+
+def _shard_path(events_path: str, index: int) -> str:
+    return f"{events_path}.shard-{index:04d}"
+
+
+def _merge_shards(events_path: str, n_specs: int) -> None:
+    """Re-emit per-spec shard files into the parent's attached sink.
+
+    Shards are merged in spec-index order, so the merged stream is
+    ordered exactly like a serial run's (events within one spec are
+    already in emission order).  Shard files are removed after merging.
+    """
+    sink = OBS.sink
+    for index in range(n_specs):
+        shard = _shard_path(events_path, index)
+        if not os.path.exists(shard):  # pragma: no cover - crashed worker
+            continue
+        for record in read_jsonl(shard):
+            name = str(record.pop("event"))
+            if sink is not None:
+                sink.emit(Event(name=name, fields=record))
+        os.unlink(shard)
 
 
 def run_specs(
-    *args,
-    specs: Sequence[RunSpec] | None = None,
+    *,
+    specs: Sequence[RunSpec],
     workers: int = 0,
     predictor_cache: PredictorCache | None = None,
-    cache: PredictorCache | None = None,
+    events_path: str | None = None,
 ) -> list[SimulationResult]:
     """Execute ``specs`` and return results in the same order.
 
     Keyword-only: ``run_specs(specs=[...], workers=..., predictor_cache=...)``.
-    The legacy positional form and ``cache=`` keyword are deprecated
-    shims.
 
     Parameters
     ----------
@@ -363,23 +346,18 @@ def run_specs(
         run is seeded and single-threaded, so worker placement cannot
         change results: parallel output is bit-identical to serial
         output except for the wall-clock ``allocation_latency_s``.
-        Observability is process-local — events/spans from pooled
-        workers are not captured; use the serial path when recording.
     predictor_cache:
         Shared :class:`PredictorCache`.  CORP's offline fit is computed
         *once* in the parent for each distinct (config, history) pair
         and handed to the workers through the pool initializer, so no
         worker ever refits the DNN/HMM stack.
+    events_path:
+        Only meaningful with ``workers >= 2``: each spec's events are
+        recorded to ``{events_path}.shard-NNNN`` in its worker process
+        and merged, in spec order, into the parent's attached sink when
+        the pool joins.  The serial path ignores this (events already
+        flow to the parent's sink directly).
     """
-    if args:
-        _warn_positional("run_specs", "specs=[...]")
-        if len(args) > 1:
-            raise TypeError("run_specs takes at most 1 positional argument")
-        if specs is None:
-            specs = args[0]
-    if specs is None:
-        raise TypeError("run_specs() requires specs=")
-    predictor_cache = _resolve_cache("run_specs", predictor_cache, cache)
     shared = predictor_cache if predictor_cache is not None else PredictorCache()
     if workers <= 1:
         results: list[SimulationResult] = []
@@ -413,10 +391,26 @@ def run_specs(
         cfg = spec.corp_config or CorpConfig(seed=spec.seed)
         shared.get(cfg, hist_by_scenario[key])
 
+    # Flush the parent's sink before the pool forks: an unflushed stdio
+    # buffer is duplicated into every child, and each child's exit would
+    # flush the same lines into the shared file again.
+    sink_flush = getattr(OBS.sink, "flush", None)
+    if sink_flush is not None:
+        sink_flush()
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_worker,
         initargs=(dict(shared._cache),),
     ) as pool:
-        futures = [pool.submit(_run_spec_in_worker, spec) for spec in specs]
-        return [f.result() for f in futures]
+        futures = [
+            pool.submit(
+                _run_spec_in_worker,
+                spec,
+                _shard_path(events_path, i) if events_path is not None else None,
+            )
+            for i, spec in enumerate(specs)
+        ]
+        results = [f.result() for f in futures]
+    if events_path is not None:
+        _merge_shards(events_path, len(specs))
+    return results

@@ -10,18 +10,27 @@ recipe, the SLO spec and the history trace used for the offline
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Sequence
 
 import numpy as np
 
 from ..cluster.profiles import ClusterProfile
 from ..cluster.simulator import SimulationConfig
 from ..cluster.slo import SloSpec
+from ..faults.plan import FaultPlan, build_fault_plan
 from ..trace.filters import remove_long_lived
 from ..trace.generator import GoogleTraceGenerator, TraceConfig
 from ..trace.records import Trace
 from ..trace.transform import resample_trace
 
-__all__ = ["Scenario", "cluster_scenario", "ec2_scenario", "JOB_COUNTS"]
+__all__ = [
+    "Scenario",
+    "cluster_scenario",
+    "ec2_scenario",
+    "fault_sweep_scenarios",
+    "JOB_COUNTS",
+    "FAULT_INTENSITIES",
+]
 
 #: The paper's job-count sweep: "we varied the number of jobs from 50 to
 #: 300 with step size of 50" (Section IV).
@@ -34,6 +43,9 @@ DEFAULT_ARRIVAL_SPAN_S: float = 100.0
 
 #: Jobs in the historical (training) trace for the offline phase.
 DEFAULT_HISTORY_JOBS: int = 400
+
+#: Default fault-intensity sweep (0 = the fault-free control point).
+FAULT_INTENSITIES: tuple[float, ...] = (0.0, 0.25, 0.5, 1.0)
 
 
 @dataclass(frozen=True)
@@ -52,6 +64,14 @@ class Scenario:
     #: composition — exactly like replaying more/fewer jobs of one
     #: trace over the same interval.
     master_jobs: int = 300
+    #: Optional deterministic fault schedule replayed against every
+    #: scheduler that runs this scenario.  ``None`` (and the empty plan)
+    #: mean a fault-free run, byte-identical to the pre-fault layer.
+    fault_plan: FaultPlan | None = None
+
+    def with_fault_plan(self, plan: FaultPlan | None) -> "Scenario":
+        """A copy of this scenario running under ``plan`` (or without)."""
+        return replace(self, fault_plan=plan)
 
     def evaluation_trace(self) -> Trace:
         """Generate, filter (short-lived only) and subsample the workload.
@@ -156,6 +176,37 @@ def cluster_scenario(
         history_config=_history_config(seed),
         sim_config=SimulationConfig(slo=SloSpec(slack_factor=slo_slack)),
     )
+
+
+def fault_sweep_scenarios(
+    base: Scenario,
+    *,
+    intensities: Sequence[float] = FAULT_INTENSITIES,
+    seed: int = 0,
+    n_slots: int = 400,
+) -> list[Scenario]:
+    """``base`` replayed under increasing fault intensity.
+
+    Each sweep point pairs the *same* workload with a seeded
+    :func:`~repro.faults.plan.build_fault_plan` of the given intensity
+    (intensity ``0`` carries no plan — the fault-free control), so the
+    sweep isolates the effect of churn on each scheduler.
+    """
+    out: list[Scenario] = []
+    for intensity in intensities:
+        plan = (
+            build_fault_plan(seed=seed, n_slots=n_slots, intensity=intensity)
+            if intensity > 0
+            else None
+        )
+        out.append(
+            replace(
+                base,
+                name=f"{base.name}-faults{intensity:g}",
+                fault_plan=plan,
+            )
+        )
+    return out
 
 
 def ec2_scenario(

@@ -1,0 +1,37 @@
+"""Deterministic fault injection & resilience measurement.
+
+``repro.faults`` separates *what goes wrong* from *how it is applied*:
+
+* :mod:`~repro.faults.plan` — pure-data, seeded :class:`FaultPlan`
+  schedules (picklable, replayable against every scheduler).
+* :mod:`~repro.faults.injector` — the :class:`FaultInjector` the
+  simulator drives once per slot to apply a plan.
+
+Build plans with :func:`build_fault_plan` (or hand-author event tuples)
+and pass them to ``repro.api`` entry points via ``fault_plan=`` or
+``inject(scenario=..., plan=...)``.
+"""
+
+from .injector import FaultInjector
+from .plan import (
+    CapacityRevocation,
+    FaultEvent,
+    FaultPlan,
+    JobFailure,
+    PredictorOutage,
+    RetryPolicy,
+    VmCrash,
+    build_fault_plan,
+)
+
+__all__ = [
+    "CapacityRevocation",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "JobFailure",
+    "PredictorOutage",
+    "RetryPolicy",
+    "VmCrash",
+    "build_fault_plan",
+]

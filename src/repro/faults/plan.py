@@ -1,0 +1,290 @@
+"""Pure-data fault schedules (the ``FaultPlan``).
+
+A :class:`FaultPlan` is a deterministic, picklable description of every
+fault a run will experience: *which* fault, *when* (in slots), *where*
+(a VM index), and how the cluster is allowed to recover (the
+:class:`RetryPolicy`).  Plans carry no runtime state — the same plan can
+be replayed against any scheduler, any number of times, and (with the
+same workload seed) produce bit-identical runs, which is what makes the
+``compare --faults`` tables meaningful: every scheme faces the exact
+same churn.
+
+Four fault types cover the regimes the robustness axis cares about:
+
+* :class:`VmCrash` — a VM dies, evicting every in-flight job (work is
+  lost); it restarts empty after a downtime.
+* :class:`CapacityRevocation` — a VM transiently loses a fraction of its
+  capacity ``C'_k`` (a noisy neighbour, a host reclaim), squeezing the
+  jobs packed onto its "unused" resource.
+* :class:`PredictorOutage` — the prediction service is unreachable;
+  schedulers must degrade to requested-resource provisioning.
+* :class:`JobFailure` — one running job fails transiently and retries
+  under the plan's :class:`RetryPolicy` (bounded retries, exponential
+  backoff, a give-up deadline matching the paper's 5-minute short-job
+  horizon).
+
+``vm_index`` is resolved modulo the cluster's VM count at runtime, so
+one plan is portable across cluster profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "VmCrash",
+    "CapacityRevocation",
+    "PredictorOutage",
+    "JobFailure",
+    "FaultEvent",
+    "RetryPolicy",
+    "FaultPlan",
+    "build_fault_plan",
+]
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+@dataclass(frozen=True)
+class VmCrash:
+    """A VM fails at ``slot`` and restarts empty after ``downtime_slots``.
+
+    Every placement on the VM is evicted; evicted jobs lose their
+    progress (in-memory state does not survive a crash) and are requeued
+    for immediate re-placement.
+    """
+
+    slot: int
+    vm_index: int
+    downtime_slots: int = 10
+
+    def __post_init__(self) -> None:
+        _require(self.slot >= 0, "slot must be >= 0")
+        _require(self.vm_index >= 0, "vm_index must be >= 0")
+        _require(self.downtime_slots >= 1, "downtime_slots must be >= 1")
+
+
+@dataclass(frozen=True)
+class CapacityRevocation:
+    """A VM loses ``fraction`` of its capacity for ``duration_slots``.
+
+    The commitment already carved out of the VM is *not* returned —
+    primaries (and any riders on their slack) are physically squeezed,
+    which is exactly the contention the Eq. 21 gate exists to bound.
+    """
+
+    slot: int
+    vm_index: int
+    fraction: float = 0.5
+    duration_slots: int = 8
+
+    def __post_init__(self) -> None:
+        _require(self.slot >= 0, "slot must be >= 0")
+        _require(self.vm_index >= 0, "vm_index must be >= 0")
+        _require(0.0 < self.fraction <= 1.0, "fraction must be in (0, 1]")
+        _require(self.duration_slots >= 1, "duration_slots must be >= 1")
+
+
+@dataclass(frozen=True)
+class PredictorOutage:
+    """Predictions are unavailable for ``duration_slots`` starting at ``slot``.
+
+    While the outage lasts every scheduler runs in degraded mode:
+    forecasts are void, opportunistic placement is off, demand-based
+    grant caps are lifted — provisioning falls back to the jobs'
+    requested resources.
+    """
+
+    slot: int
+    duration_slots: int = 10
+
+    def __post_init__(self) -> None:
+        _require(self.slot >= 0, "slot must be >= 0")
+        _require(self.duration_slots >= 1, "duration_slots must be >= 1")
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One running job on VM ``vm_index`` fails transiently at ``slot``.
+
+    The victim is the lowest-id running job on the VM (deterministic).
+    The job is evicted, loses its progress and re-enters the queue under
+    the plan's :class:`RetryPolicy`.  A VM with nothing running makes
+    the event a no-op.
+    """
+
+    slot: int
+    vm_index: int
+
+    def __post_init__(self) -> None:
+        _require(self.slot >= 0, "slot must be >= 0")
+        _require(self.vm_index >= 0, "vm_index must be >= 0")
+
+
+FaultEvent = Union[VmCrash, CapacityRevocation, PredictorOutage, JobFailure]
+
+_EVENT_TYPES: dict[str, type] = {
+    "vm_crash": VmCrash,
+    "capacity_revocation": CapacityRevocation,
+    "predictor_outage": PredictorOutage,
+    "job_failure": JobFailure,
+}
+_EVENT_NAMES: dict[type, str] = {cls: name for name, cls in _EVENT_TYPES.items()}
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed/evicted jobs are allowed to recover.
+
+    ``backoff_base_slots`` doubles per attempt (exponential backoff):
+    the i-th retry waits ``backoff_base_slots * 2**(i-1)`` slots.  A job
+    gives up — permanently fails — once it exceeds ``max_retries``
+    transient failures or once ``give_up_slots`` have passed since its
+    first fault.  The default give-up of 30 slots is the paper's
+    5-minute short-job deadline at the 10-second slot period.
+    """
+
+    max_retries: int = 3
+    backoff_base_slots: int = 1
+    give_up_slots: int = 30
+
+    def __post_init__(self) -> None:
+        _require(self.max_retries >= 0, "max_retries must be >= 0")
+        _require(self.backoff_base_slots >= 1, "backoff_base_slots must be >= 1")
+        _require(self.give_up_slots >= 1, "give_up_slots must be >= 1")
+
+    def backoff_slots(self, attempt: int) -> int:
+        """Backoff before the ``attempt``-th retry (1-based)."""
+        _require(attempt >= 1, "attempt must be >= 1")
+        return self.backoff_base_slots * (2 ** (attempt - 1))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of fault events plus the recovery policy.
+
+    An empty plan (``len(plan) == 0``) is exactly equivalent to no plan:
+    the simulator skips building an injector, so the fault layer costs
+    nothing and results stay bit-identical to a plain run.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        # Normalize a list/generator into the canonical tuple form and
+        # keep the schedule sorted by slot (stable, so same-slot events
+        # preserve their authored order).
+        events = tuple(sorted(self.events, key=lambda e: e.slot))
+        object.__setattr__(self, "events", events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return len(self.events) > 0
+
+    def to_dicts(self) -> list[dict]:
+        """JSON-ready form: one dict per event, tagged with its type."""
+        out = []
+        for event in self.events:
+            rec: dict = {"fault": _EVENT_NAMES[type(event)]}
+            for f in fields(event):
+                rec[f.name] = getattr(event, f.name)
+            out.append(rec)
+        return out
+
+    @classmethod
+    def from_dicts(
+        cls, records: list[dict], *, retry: RetryPolicy | None = None
+    ) -> "FaultPlan":
+        """Inverse of :meth:`to_dicts`."""
+        events = []
+        for rec in records:
+            rec = dict(rec)
+            kind = rec.pop("fault")
+            try:
+                event_cls = _EVENT_TYPES[kind]
+            except KeyError:
+                raise ValueError(f"unknown fault type {kind!r}") from None
+            events.append(event_cls(**rec))
+        return cls(events=tuple(events), retry=retry or RetryPolicy())
+
+
+def build_fault_plan(
+    *,
+    seed: int = 0,
+    n_slots: int = 400,
+    intensity: float = 0.3,
+    vm_crash_rate: float | None = None,
+    crash_downtime_slots: int = 10,
+    revocation_rate: float | None = None,
+    revocation_fraction: float = 0.5,
+    revocation_duration_slots: int = 8,
+    outage_rate: float | None = None,
+    outage_duration_slots: int = 10,
+    job_failure_rate: float | None = None,
+    retry: RetryPolicy | None = None,
+) -> FaultPlan:
+    """Sample a seeded :class:`FaultPlan` over a horizon of ``n_slots``.
+
+    ``intensity`` scales the default per-slot rates of all four fault
+    types at once (``0`` disables everything; ``1`` is severe churn);
+    each explicit ``*_rate`` overrides its derived default.  Sampling is
+    fully determined by ``seed`` — the same arguments always produce the
+    same plan, and plans beyond the actual run length simply never fire.
+
+    ``vm_index`` values are sampled from a wide range and folded modulo
+    the cluster's VM count at injection time, so plans stay portable
+    across profiles.
+    """
+    if intensity < 0.0:
+        raise ValueError("intensity must be >= 0")
+    if n_slots < 1:
+        raise ValueError("n_slots must be >= 1")
+    rates = {
+        "vm_crash": vm_crash_rate if vm_crash_rate is not None else 0.010 * intensity,
+        "revocation": revocation_rate if revocation_rate is not None else 0.030 * intensity,
+        "outage": outage_rate if outage_rate is not None else 0.008 * intensity,
+        "job_failure": job_failure_rate if job_failure_rate is not None else 0.040 * intensity,
+    }
+    for name, rate in rates.items():
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"{name} rate must be in [0, 1], got {rate}")
+    rng = np.random.default_rng(seed)
+    events: list[FaultEvent] = []
+    # One Bernoulli draw per (slot, fault type), in a fixed type order,
+    # keeps the schedule deterministic and the draws independent.
+    for slot in range(n_slots):
+        if rng.random() < rates["vm_crash"]:
+            events.append(
+                VmCrash(
+                    slot=slot,
+                    vm_index=int(rng.integers(0, 1 << 16)),
+                    downtime_slots=crash_downtime_slots,
+                )
+            )
+        if rng.random() < rates["revocation"]:
+            events.append(
+                CapacityRevocation(
+                    slot=slot,
+                    vm_index=int(rng.integers(0, 1 << 16)),
+                    fraction=revocation_fraction,
+                    duration_slots=revocation_duration_slots,
+                )
+            )
+        if rng.random() < rates["outage"]:
+            events.append(
+                PredictorOutage(slot=slot, duration_slots=outage_duration_slots)
+            )
+        if rng.random() < rates["job_failure"]:
+            events.append(
+                JobFailure(slot=slot, vm_index=int(rng.integers(0, 1 << 16)))
+            )
+    return FaultPlan(events=tuple(events), retry=retry or RetryPolicy())

@@ -118,7 +118,12 @@ class JsonlSink:
     """
 
     def __init__(self, target: str | IO[str]) -> None:
+        #: The backing file path, or ``None`` for stream-backed sinks.
+        #: Parallel runners consult this to decide whether the sink can
+        #: be sharded per worker and merged on join.
+        self.path: str | None = None
         if isinstance(target, str):
+            self.path = target
             self._fh: IO[str] = open(target, "w")
             self._owns = True
         else:
@@ -128,6 +133,16 @@ class JsonlSink:
 
     def emit(self, event: Event) -> None:
         self._fh.write(json.dumps(_sanitize(event.to_dict())) + "\n")
+
+    def flush(self) -> None:
+        """Push buffered lines to the OS.
+
+        Parallel runners call this before forking worker processes:
+        a fork duplicates any unflushed stdio buffer into every child,
+        and each child's exit would flush the same lines again —
+        duplicating events in the target file.
+        """
+        self._fh.flush()
 
     def close(self) -> None:
         if self._closed:

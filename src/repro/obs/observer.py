@@ -80,6 +80,11 @@ class Observer:
         self._profiling = False
         self._sync_enabled()
 
+    @property
+    def profiling(self) -> bool:
+        """Whether counter/timer recording is on (read-only)."""
+        return self._profiling
+
     def reset(self) -> None:
         """Detach the sink, stop profiling, clear counters and timers."""
         self.detach_sink()

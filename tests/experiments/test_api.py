@@ -1,4 +1,4 @@
-"""The repro.api facade, deprecation shims, LRU cache and event wiring."""
+"""The repro.api facade (v1.2), LRU cache and event wiring."""
 
 import json
 
@@ -75,38 +75,76 @@ class TestCompare:
         with pytest.raises(TypeError):
             api.compare(50)
 
-    def test_events_force_serial(self, small_scenario):
-        # With a sink attached, workers>=2 must NOT fan out (events are
-        # process-local); the serial path still produces every result.
-        sink = api.attach_sink(MemorySink())
+    def test_memory_sink_with_workers_rejected(self, small_scenario):
+        # In-memory sinks cannot receive events from worker processes;
+        # v1.2 raises a clear error instead of silently forcing serial.
+        api.attach_sink(MemorySink())
+        try:
+            with pytest.raises(ValueError, match="in-memory"):
+                api.compare(
+                    scenario=small_scenario, methods=("DRA",), workers=4
+                )
+        finally:
+            api.detach_sink()
+
+    def test_profiling_with_workers_rejected(self, small_scenario):
+        from repro import obs
+
+        obs.enable_profiling()
+        try:
+            with pytest.raises(ValueError, match="profiling"):
+                api.compare(
+                    scenario=small_scenario, methods=("DRA",), workers=2
+                )
+        finally:
+            obs.disable_profiling()
+
+    def test_jsonl_sink_with_workers_merges_shards(
+        self, small_scenario, tmp_path
+    ):
+        # A path-backed JSONL sink shards per worker and merges on join:
+        # parallel capture keeps working instead of being forced serial.
+        path = tmp_path / "ev.jsonl"
+        api.attach_sink(str(path))
         try:
             results = api.compare(
-                scenario=small_scenario, methods=("DRA",), workers=4
+                scenario=small_scenario, methods=("DRA", "RCCR"), workers=2
             )
         finally:
             api.detach_sink()
-        assert list(results) == ["DRA"]
-        assert sink.named("slot")  # events landed in-process
+        assert list(results) == ["DRA", "RCCR"]
+        grouped = events_by_name(read_jsonl(str(path)))
+        assert grouped["slot"]  # worker events reached the parent's file
+        # Merged in spec (method) order: every DRA slot precedes RCCR's.
+        schedulers = [e["scheduler"] for e in grouped["slot"]]
+        assert schedulers.index("RCCR") == len(
+            [s for s in schedulers if s == "DRA"]
+        )
+        assert not list(tmp_path.glob("*.shard-*"))  # shards cleaned up
 
 
-class TestDeprecatedPositionalForms:
-    def test_run_methods_positional_warns(self, small_scenario):
-        with pytest.warns(DeprecationWarning, match="run_methods"):
-            results = run_methods(small_scenario, methods=("DRA",))
-        assert list(results) == ["DRA"]
+class TestRemovedPositionalForms:
+    """The v1.1 deprecation shims are gone: positional calls now raise."""
 
-    def test_sweep_specs_positional_warns(self, small_scenario):
-        with pytest.warns(DeprecationWarning, match="sweep_specs"):
-            specs = sweep_specs([small_scenario])
-        assert len(specs) == len(METHOD_ORDER)
+    def test_run_methods_positional_raises(self, small_scenario):
+        with pytest.raises(TypeError):
+            run_methods(small_scenario, methods=("DRA",))
 
-    def test_run_specs_positional_warns(self):
-        with pytest.warns(DeprecationWarning, match="run_specs"):
-            assert run_specs([]) == []
+    def test_sweep_specs_positional_raises(self, small_scenario):
+        with pytest.raises(TypeError):
+            sweep_specs([small_scenario])
 
-    def test_keyword_forms_do_not_warn(self, small_scenario, recwarn):
-        sweep_specs(scenarios=[small_scenario])
-        run_specs(specs=[])
+    def test_run_specs_positional_raises(self):
+        with pytest.raises(TypeError):
+            run_specs([])
+
+    def test_cache_keyword_raises(self):
+        with pytest.raises(TypeError):
+            run_specs(specs=[], cache=PredictorCache())
+
+    def test_keyword_forms_work_without_warning(self, small_scenario, recwarn):
+        assert len(sweep_specs(scenarios=[small_scenario])) == len(METHOD_ORDER)
+        assert run_specs(specs=[]) == []
         deprecations = [
             w for w in recwarn if issubclass(w.category, DeprecationWarning)
         ]
@@ -220,7 +258,7 @@ class TestCliObservability:
         assert {"slot", "placement", "preemption"} <= set(grouped)
         assert not OBS.enabled  # CLI detached its sink
 
-    def test_compare_events_with_workers_forces_serial(self, tmp_path, capsys):
+    def test_compare_events_with_workers_merges_shards(self, tmp_path, capsys):
         from repro.__main__ import main
 
         out = tmp_path / "ev.jsonl"
@@ -229,9 +267,12 @@ class TestCliObservability:
             "--events", str(out), "--seed", "3",
         ])
         assert code == 0
-        err = capsys.readouterr().err
-        assert "running serially" in err
-        assert list(read_jsonl(str(out)))  # events still captured
+        grouped = events_by_name(read_jsonl(str(out)))
+        assert grouped["slot"]  # worker events merged into the target file
+        assert set(METHOD_ORDER) <= {
+            e["scheduler"] for e in grouped["slot"]
+        }
+        assert not list(tmp_path.glob("*.shard-*"))  # shards cleaned up
 
     def test_profile_command_writes_report(self, tmp_path, capsys):
         from repro.__main__ import main

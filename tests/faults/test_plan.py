@@ -1,0 +1,116 @@
+"""FaultPlan and RetryPolicy: validation, determinism, round-trip."""
+
+import pytest
+
+from repro.faults import (
+    CapacityRevocation,
+    FaultPlan,
+    JobFailure,
+    PredictorOutage,
+    RetryPolicy,
+    VmCrash,
+    build_fault_plan,
+)
+
+
+class TestEventValidation:
+    def test_negative_slot_rejected(self):
+        with pytest.raises(ValueError, match="slot"):
+            VmCrash(slot=-1, vm_index=0)
+
+    def test_negative_vm_index_rejected(self):
+        with pytest.raises(ValueError, match="vm_index"):
+            JobFailure(slot=0, vm_index=-1)
+
+    def test_revocation_fraction_bounds(self):
+        with pytest.raises(ValueError, match="fraction"):
+            CapacityRevocation(slot=0, vm_index=0, fraction=0.0)
+        with pytest.raises(ValueError, match="fraction"):
+            CapacityRevocation(slot=0, vm_index=0, fraction=1.5)
+        # The closed upper bound (full revocation) is allowed.
+        CapacityRevocation(slot=0, vm_index=0, fraction=1.0)
+
+    def test_durations_must_be_positive(self):
+        with pytest.raises(ValueError, match="downtime"):
+            VmCrash(slot=0, vm_index=0, downtime_slots=0)
+        with pytest.raises(ValueError, match="duration"):
+            PredictorOutage(slot=0, duration_slots=0)
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff(self):
+        policy = RetryPolicy(backoff_base_slots=2)
+        assert [policy.backoff_slots(i) for i in (1, 2, 3, 4)] == [2, 4, 8, 16]
+
+    def test_paper_deadline_default(self):
+        # 30 slots x 10 s/slot = the paper's 5-minute short-job horizon.
+        assert RetryPolicy().give_up_slots == 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base_slots=0)
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_slots(0)
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_falsy(self):
+        plan = FaultPlan()
+        assert len(plan) == 0
+        assert not plan
+
+    def test_events_sorted_by_slot_stable(self):
+        a = JobFailure(slot=7, vm_index=0)
+        b = VmCrash(slot=2, vm_index=1)
+        c = PredictorOutage(slot=7)
+        plan = FaultPlan(events=(a, b, c))
+        assert plan.events == (b, a, c)  # sorted; ties keep authored order
+
+    def test_round_trip(self):
+        plan = build_fault_plan(seed=4, n_slots=120, intensity=0.8)
+        assert plan  # nonzero intensity over 120 slots yields events
+        clone = FaultPlan.from_dicts(plan.to_dicts(), retry=plan.retry)
+        assert clone == plan
+
+    def test_from_dicts_rejects_unknown_type(self):
+        with pytest.raises(ValueError, match="unknown fault type"):
+            FaultPlan.from_dicts([{"fault": "meteor", "slot": 0}])
+
+
+class TestBuildFaultPlan:
+    def test_deterministic_under_seed(self):
+        kwargs = dict(seed=9, n_slots=200, intensity=0.6)
+        assert build_fault_plan(**kwargs) == build_fault_plan(**kwargs)
+
+    def test_different_seeds_differ(self):
+        a = build_fault_plan(seed=1, n_slots=300, intensity=0.8)
+        b = build_fault_plan(seed=2, n_slots=300, intensity=0.8)
+        assert a != b
+
+    def test_zero_intensity_is_empty(self):
+        assert not build_fault_plan(seed=0, n_slots=400, intensity=0.0)
+
+    def test_intensity_scales_event_count(self):
+        low = build_fault_plan(seed=0, n_slots=400, intensity=0.1)
+        high = build_fault_plan(seed=0, n_slots=400, intensity=1.0)
+        assert len(high) > len(low)
+
+    def test_explicit_rate_overrides_intensity(self):
+        plan = build_fault_plan(
+            seed=0,
+            n_slots=50,
+            intensity=0.0,
+            outage_rate=1.0,
+        )
+        assert len(plan) == 50
+        assert all(isinstance(e, PredictorOutage) for e in plan.events)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError, match="intensity"):
+            build_fault_plan(intensity=-0.1)
+        with pytest.raises(ValueError, match="n_slots"):
+            build_fault_plan(n_slots=0)
+        with pytest.raises(ValueError, match="rate"):
+            build_fault_plan(vm_crash_rate=1.5)
