@@ -24,9 +24,13 @@ IEEE CLUSTER 2016), including every substrate the evaluation needs:
 * :mod:`repro.faults` — deterministic fault injection (VM crashes,
   capacity revocations, predictor outages, job failures) and the
   resilience metrics the summaries report under churn;
+* :mod:`repro.check` — runtime invariant checker (capacity / job
+  conservation, Eq. 21 gate soundness, packing feasibility, Eq. 22
+  optimality), differential replay of captured event streams, and the
+  golden-trace regression digests;
 * :mod:`repro.api` — the stable keyword-only facade (``compare``,
-  ``sweep``, ``run_one``, ``attach_sink``) and the **only supported
-  import surface** for new code.
+  ``sweep``, ``run_one``, ``attach_sink``, ``check_run``, ``replay``)
+  and the **only supported import surface** for new code.
 
 Quickstart::
 
@@ -41,6 +45,9 @@ Quickstart::
 
     plan = api.build_fault_plan(seed=0, intensity=0.5)
     faulted = api.compare(jobs=100, fault_plan=plan)
+
+    report = api.check_run(jobs=50)          # invariant-checked run
+    assert report.ok, report.violations
 """
 
 from .baselines import CloudScaleScheduler, DraScheduler, RccrScheduler
@@ -83,20 +90,23 @@ from .trace import (
     remove_long_lived,
     resample_trace,
 )
-from . import api, faults, obs
+from . import api, check, faults, obs
 from .api import (
     attach_sink,
     build_fault_plan,
     capture_events,
+    check_run,
     compare,
     detach_sink,
     inject,
+    replay,
     run_one,
     sweep,
 )
+from .check import CheckReport, InvariantChecker, ReplayReport, Violation
 from .faults import FaultPlan, RetryPolicy
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CloudScaleScheduler",
@@ -134,6 +144,7 @@ __all__ = [
     "remove_long_lived",
     "resample_trace",
     "api",
+    "check",
     "faults",
     "obs",
     "compare",
@@ -146,5 +157,11 @@ __all__ = [
     "attach_sink",
     "detach_sink",
     "capture_events",
+    "check_run",
+    "replay",
+    "CheckReport",
+    "InvariantChecker",
+    "ReplayReport",
+    "Violation",
     "__version__",
 ]

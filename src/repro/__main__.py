@@ -11,6 +11,13 @@ Commands
 ``mixed``     — the mixed short+long workload extension.
 ``bench``     — time the end-to-end sweep against the pre-optimization
                 baseline and write a JSON report.
+``check``     — run a comparison with the runtime invariant checker
+                installed and print the violation table (exit 1 on any
+                violation); ``--replay capture.jsonl`` instead re-runs a
+                captured event stream and diffs per-slot state.
+``golden``    — compare the seeded summaries against the committed
+                golden trace under ``tests/golden/`` (``--update``
+                regenerates it after an intentional change).
 
 Experiment execution routes exclusively through :mod:`repro.api`; pass
 ``--events out.jsonl`` to stream structured decision events (slots,
@@ -25,6 +32,11 @@ Examples::
     python -m repro profile --jobs 50
     python -m repro figure fig09 --testbed cluster
     python -m repro bench --quick --bench-out BENCH_runtime.json
+    python -m repro check --quick --differential
+    python -m repro check --jobs 30 --events /tmp/cap.jsonl
+    python -m repro check --replay /tmp/cap.jsonl
+    python -m repro golden
+    python -m repro golden --update
 """
 
 from __future__ import annotations
@@ -292,6 +304,121 @@ def _cmd_mixed(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    if args.replay:
+        report = api.replay(
+            events=args.replay,
+            methods=tuple(args.methods) if args.methods else None,
+            tolerance=args.tolerance if args.tolerance is not None else 1e-9,
+        )
+        meta = report.meta
+        print(
+            f"replayed {meta['jobs']} jobs on the {meta['testbed']} "
+            f"profile (seed {meta['seed']}, methods "
+            f"{', '.join(meta['methods'])}): {report.n_compared} events "
+            f"compared"
+        )
+        if report.ok:
+            print("replay OK: live run reproduced the capture exactly")
+            return 0
+        rows = [list(m.as_row().values()) for m in report.mismatches]
+        print(
+            format_table(
+                list(report.mismatches[0].as_row().keys()),
+                rows,
+                title=f"{len(report.mismatches)} replay mismatch(es)"
+                + (" [truncated]" if report.truncated else ""),
+            )
+        )
+        return 1
+
+    jobs = min(args.jobs, 30) if args.quick else args.jobs
+    fault_plan = None
+    if args.faults is not None:
+        fault_plan = api.build_fault_plan(
+            seed=args.fault_seed, intensity=args.faults
+        )
+    report = api.check_run(
+        jobs=jobs,
+        testbed=args.testbed,
+        seed=args.seed,
+        methods=tuple(args.methods) if args.methods else api.METHOD_ORDER,
+        fault_plan=fault_plan,
+        rules=tuple(args.rules) if args.rules else None,
+        tolerance=args.tolerance if args.tolerance is not None else 1e-6,
+        differential=args.differential,
+        events=args.events,
+    )
+    checked = ", ".join(
+        f"{rule}={count}" for rule, count in sorted(report.checks.items())
+    )
+    print(
+        f"checked {jobs} jobs on the {args.testbed} profile "
+        f"(seed {args.seed}): {report.n_checks} invariant evaluations "
+        f"({checked})"
+    )
+    if args.events:
+        print(f"wrote events to {args.events}")
+    if report.ok:
+        print("check OK: no invariant violations")
+        return 0
+    rows = [list(v.as_row().values()) for v in report.violations]
+    print(
+        format_table(
+            list(report.violations[0].as_row().keys()),
+            rows,
+            title=f"{report.n_violations} invariant violation(s)",
+        )
+    )
+    return 1
+
+
+def _cmd_golden(args: argparse.Namespace) -> int:
+    from .check.golden import (
+        compute_golden,
+        default_golden_path,
+        diff_golden,
+        load_golden,
+        write_golden,
+    )
+
+    path = default_golden_path(
+        args.dir, jobs=args.jobs, testbed=args.testbed, seed=args.seed
+    )
+    fresh = compute_golden(
+        jobs=args.jobs,
+        testbed=args.testbed,
+        seed=args.seed,
+        fault_intensity=args.faults,
+        fault_seed=args.fault_seed,
+    )
+    if args.update:
+        write_golden(path, fresh)
+        print(f"wrote {path} (digest {fresh['digest'][:12]})")
+        return 0
+    try:
+        recorded = load_golden(path)
+    except FileNotFoundError:
+        print(
+            f"error: no golden file at {path}; record one with "
+            f"python -m repro golden --update",
+            file=sys.stderr,
+        )
+        return 2
+    drift = diff_golden(recorded, fresh)
+    if not drift:
+        print(f"golden OK: {path} matches (digest {fresh['digest'][:12]})")
+        return 0
+    print(f"golden DRIFT against {path}:")
+    for line in drift:
+        print(f"  {line}")
+    print(
+        "re-record with `python -m repro golden --update` if the "
+        "behavioural change is intentional"
+    )
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -396,6 +523,92 @@ def build_parser() -> argparse.ArgumentParser:
         help="record the numbers without enforcing the speedup floor",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    from .check.rules import ALL_RULES
+
+    check = sub.add_parser(
+        "check",
+        help="run with the runtime invariant checker (or --replay a capture)",
+    )
+    check.add_argument("--jobs", type=int, default=50)
+    check.add_argument("--testbed", choices=("cluster", "ec2"), default="cluster")
+    check.add_argument("--seed", type=int, default=7)
+    check.add_argument(
+        "--methods", nargs="+", metavar="METHOD", default=None,
+        help="restrict to a subset of the schedulers "
+             "(default: all four; for --replay, the captured set)",
+    )
+    check.add_argument(
+        "--faults", nargs="?", const=0.3, type=float, default=None,
+        metavar="INTENSITY",
+        help="check under a seeded fault plan of the given intensity "
+             "(bare flag = 0.3)",
+    )
+    check.add_argument("--fault-seed", type=int, default=0)
+    check.add_argument(
+        "--rules", nargs="+", metavar="RULE", choices=ALL_RULES, default=None,
+        help=f"invariant rules to evaluate (default: all but "
+             f"'differential'; choices: {', '.join(ALL_RULES)})",
+    )
+    check.add_argument(
+        "--differential", action="store_true",
+        help="also diff every slot outcome against the reference "
+             "(pre-vectorization) executor — slower, strongest check",
+    )
+    check.add_argument(
+        "--tolerance", type=float, default=None,
+        help="numeric tolerance (default: 1e-6 for invariants, "
+             "1e-9 for --replay)",
+    )
+    check.add_argument(
+        "--events", metavar="PATH", default=None,
+        help="also capture a replayable JSONL event stream "
+             "(feed it back with --replay)",
+    )
+    check.add_argument(
+        "--replay", metavar="PATH", default=None,
+        help="differential replay: re-run the scenario this capture "
+             "describes and diff per-slot state and placements "
+             "against it",
+    )
+    check.add_argument(
+        "--quick", action="store_true",
+        help="cap the job count at 30 (the CI smoke setting)",
+    )
+    check.set_defaults(func=_cmd_check)
+
+    golden = sub.add_parser(
+        "golden",
+        help="compare seeded summaries against the committed golden trace",
+    )
+    golden.add_argument(
+        "--update", action="store_true",
+        help="(re)write the golden file instead of comparing against it",
+    )
+    golden.add_argument(
+        "--dir", default="tests/golden",
+        help="directory of the golden files (default: tests/golden)",
+    )
+    from .check.golden import (
+        GOLDEN_FAULT_INTENSITY,
+        GOLDEN_FAULT_SEED,
+        GOLDEN_JOBS,
+        GOLDEN_SEED,
+        GOLDEN_TESTBED,
+    )
+
+    golden.add_argument("--jobs", type=int, default=GOLDEN_JOBS)
+    golden.add_argument(
+        "--testbed", choices=("cluster", "ec2"), default=GOLDEN_TESTBED
+    )
+    golden.add_argument("--seed", type=int, default=GOLDEN_SEED)
+    golden.add_argument(
+        "--faults", type=float, default=GOLDEN_FAULT_INTENSITY,
+        metavar="INTENSITY",
+        help="fault intensity of the faulted golden section",
+    )
+    golden.add_argument("--fault-seed", type=int, default=GOLDEN_FAULT_SEED)
+    golden.set_defaults(func=_cmd_golden)
     return parser
 
 

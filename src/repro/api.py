@@ -1,6 +1,6 @@
 """The stable public API facade.
 
-Everything a consumer of the reproduction needs sits behind four typed,
+Everything a consumer of the reproduction needs sits behind typed,
 keyword-only entry points plus the observability attachments:
 
 * :func:`run_one` — one (scenario, method) run → :class:`SimulationResult`;
@@ -12,7 +12,10 @@ keyword-only entry points plus the observability attachments:
 * :func:`attach_sink` / :func:`detach_sink` / :func:`capture_events` —
   stream structured decision events (JSONL or custom sinks);
 * :func:`profile_run` — a profiled comparison run returning the
-  per-stage timing table ``repro profile`` prints.
+  per-stage timing table ``repro profile`` prints;
+* :func:`check_run` / :func:`replay` (v1.3) — a comparison run with the
+  runtime invariant checker installed, and differential replay of a
+  captured event stream against a fresh live run.
 
 This facade is the **only supported import surface**: deeper imports
 (``repro.experiments.runner`` and friends) may break without notice
@@ -22,7 +25,10 @@ deprecation policy protects.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from .check import CheckReport, ReplayReport
 
 from .cluster.simulator import SimulationResult
 from .core.config import CorpConfig
@@ -46,6 +52,8 @@ __all__ = [
     "sweep",
     "run_one",
     "profile_run",
+    "check_run",
+    "replay",
     "inject",
     "build_fault_plan",
     "attach_sink",
@@ -117,6 +125,14 @@ def _parallel_events_path(workers: int) -> str | None:
     """
     if workers < 2:
         return None
+    from .check import CHECK
+
+    if CHECK.enabled:
+        raise ValueError(
+            "workers >= 2 is incompatible with an installed invariant "
+            "checker: violations recorded in worker processes cannot reach "
+            "it. Use workers=0 while checking."
+        )
     if OBS.profiling:
         raise ValueError(
             "workers >= 2 is incompatible with profiling: counters and "
@@ -134,6 +150,46 @@ def _parallel_events_path(workers: int) -> str | None:
             "per-worker shards merged on join, or run with workers=0."
         )
     return path
+
+
+def _emit_run_meta(
+    *,
+    scenario: Scenario,
+    methods: tuple[str, ...],
+    jobs: int | None,
+    testbed: str | None,
+    seed: int | None,
+    replayable: bool,
+) -> None:
+    """Stamp an attached capture with the parameters replay needs.
+
+    Emitted only when a sink is attached; a capture without this record
+    cannot be replayed (:func:`replay` says so).  ``replayable`` is
+    False for prebuilt scenarios — their construction parameters are
+    unknown here, so the record still documents the run but replay
+    refuses it.
+    """
+    if OBS.sink is None:
+        return
+    from dataclasses import asdict
+
+    from . import __version__
+
+    plan = scenario.fault_plan
+    plan_payload = None
+    if plan:
+        plan_payload = {"retry": asdict(plan.retry), "events": plan.to_dicts()}
+    OBS.emit(
+        "run_meta",
+        version=__version__,
+        replayable=replayable,
+        jobs=jobs,
+        testbed=testbed,
+        seed=seed,
+        scenario=scenario.name,
+        methods=list(methods),
+        fault_plan=plan_payload,
+    )
 
 
 def run_one(
@@ -186,10 +242,19 @@ def compare(
     shard merged (in method order) on join; in-memory sinks and
     profiling cannot cross processes and raise :class:`ValueError`.
     """
+    built_here = scenario is None
     if scenario is None:
         scenario = build_scenario(jobs=jobs, testbed=testbed, seed=seed)
     scenario = _apply_fault_plan(scenario, fault_plan)
     methods = tuple(methods)
+    _emit_run_meta(
+        scenario=scenario,
+        methods=methods,
+        jobs=jobs if built_here else None,
+        testbed=testbed if built_here else None,
+        seed=seed if built_here else None,
+        replayable=built_here,
+    )
     if workers >= 2:
         events_path = _parallel_events_path(workers)
         specs = sweep_specs(scenarios=[scenario], methods=methods, seed=seed)
@@ -295,3 +360,97 @@ def profile_run(
         "summaries": {m: r.summary() for m, r in results.items()},
         "total_s": round(total, 6),
     }
+
+
+def check_run(
+    *,
+    scenario: Scenario | None = None,
+    jobs: int = 200,
+    testbed: str = "cluster",
+    seed: int = 7,
+    methods: Iterable[str] = METHOD_ORDER,
+    predictor_cache: PredictorCache | None = None,
+    fault_plan: FaultPlan | None = None,
+    rules: Iterable[str] | None = None,
+    tolerance: float = 1e-6,
+    differential: bool = False,
+    events: str | None = None,
+) -> "CheckReport":
+    """Run every method with the runtime invariant checker installed.
+
+    Same workload semantics as :func:`compare` (forced serial — checker
+    state is process-local), with the :mod:`repro.check` rules evaluated
+    at every decision point: capacity conservation, job conservation
+    under faults, Eq. 21 gate soundness, packing feasibility and Eq. 22
+    optimality.  ``differential=True`` adds the per-slot
+    reference-vs-vectorized execution diff; ``rules=`` selects an
+    explicit subset.  ``events=`` additionally captures the run's event
+    stream (with the ``run_meta`` record :func:`replay` needs) to a
+    JSONL file.
+
+    The checker is read-only: the returned report's ``summaries`` are
+    byte-identical to what an unchecked :func:`compare` would produce
+    (modulo ``allocation_latency_s``, which is measured from the wall
+    clock and so differs between *any* two runs).
+    """
+    from .check import CHECK, CheckReport, InvariantChecker
+
+    rule_set = tuple(rules) if rules is not None else None
+    if differential:
+        if rule_set is None:
+            from .check import DEFAULT_RULES
+
+            rule_set = DEFAULT_RULES
+        if "differential" not in rule_set:
+            rule_set = rule_set + ("differential",)
+    checker = InvariantChecker(rules=rule_set, tolerance=tolerance)
+    attached = attach_sink(events) if events is not None else None
+    try:
+        with CHECK.session(checker):
+            results = compare(
+                scenario=scenario,
+                jobs=jobs,
+                testbed=testbed,
+                seed=seed,
+                methods=methods,
+                workers=0,
+                predictor_cache=predictor_cache,
+                fault_plan=fault_plan,
+            )
+    finally:
+        if attached is not None and OBS.sink is attached:
+            detach_sink()
+    return CheckReport(
+        violations=list(checker.violations),
+        checks=dict(checker.checks),
+        n_violations=checker.n_violations,
+        summaries={m: r.summary() for m, r in results.items()},
+    )
+
+
+def replay(
+    *,
+    events: str,
+    methods: Iterable[str] | None = None,
+    tolerance: float = 1e-9,
+    max_mismatches: int = 100,
+) -> "ReplayReport":
+    """Differential replay: re-run a capture and diff the event streams.
+
+    ``events`` must be a JSONL capture with a ``run_meta`` record (any
+    v1.3+ capture from :func:`compare` or :func:`check_run` taken while
+    a sink was attached).  The scenario is rebuilt from that record —
+    including the fault plan — run live into an in-memory sink, and the
+    per-slot state (``slot`` events) plus every placement decision is
+    compared record-by-record.  The simulator is deterministic, so a
+    clean replay reproduces the capture exactly; the report pinpoints
+    the first diverging slot/field otherwise.
+    """
+    from .check.replay import replay_events
+
+    return replay_events(
+        events=events,
+        methods=methods,
+        tolerance=tolerance,
+        max_mismatches=max_mismatches,
+    )

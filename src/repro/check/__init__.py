@@ -1,0 +1,64 @@
+"""Runtime invariant checking and differential replay for the reproduction.
+
+Three tools behind one process-global hub (:data:`CHECK`):
+
+* **invariant rules** — the paper's guarantees, evaluated live at the
+  simulator's decision points (:class:`InvariantChecker`): per-slot
+  capacity conservation, job conservation under faults, Eq. 21 gate
+  soundness, packing feasibility, Eq. 22 most-matched optimality, and
+  an opt-in reference-vs-vectorized differential execution rule;
+* **differential replay** — re-run a captured JSONL event stream and
+  diff per-slot state against the live run (:func:`replay_events`);
+* **golden traces** — committed digests of the seeded ``compare()``
+  summaries that turn behavioural drift into readable test failures
+  (:mod:`repro.check.golden`).
+
+Disabled by default: with no checker installed every instrumentation
+point reduces to one attribute load and a branch, exactly like
+:mod:`repro.obs`.  Prefer the :func:`repro.api.check_run` /
+:func:`repro.api.replay` entry points (or ``repro check`` on the CLI)
+over wiring the hub manually.
+
+Usage::
+
+    from repro.check import CHECK, InvariantChecker
+
+    with CHECK.session(InvariantChecker()) as checker:
+        ...  # run experiments; invariants are verified live
+    assert checker.ok, checker.violations
+"""
+
+from .differential import (
+    ReferenceOutcome,
+    SlotSnapshot,
+    capture_snapshot,
+    diff_outcome,
+    reference_outcome,
+)
+from .hub import CHECK, CheckHub
+from .replay import ReplayMismatch, ReplayReport, replay_events
+from .rules import (
+    ALL_RULES,
+    DEFAULT_RULES,
+    CheckReport,
+    InvariantChecker,
+    Violation,
+)
+
+__all__ = [
+    "CHECK",
+    "CheckHub",
+    "InvariantChecker",
+    "Violation",
+    "CheckReport",
+    "ALL_RULES",
+    "DEFAULT_RULES",
+    "SlotSnapshot",
+    "ReferenceOutcome",
+    "capture_snapshot",
+    "reference_outcome",
+    "diff_outcome",
+    "ReplayMismatch",
+    "ReplayReport",
+    "replay_events",
+]

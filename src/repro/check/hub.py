@@ -1,0 +1,64 @@
+"""The process-global invariant-check hub.
+
+Mirrors the :mod:`repro.obs` observer pattern: one :class:`CheckHub`
+instance (``CHECK``) that every instrumented decision point consults
+through ``if CHECK.enabled:``.  Disabled (the default) the whole
+subsystem costs one attribute load and a branch per call site — the
+same contract as ``OBS`` — so production runs pay nothing.
+
+Enabling means *installing* an
+:class:`~repro.check.rules.InvariantChecker` for the duration of a run
+(usually via :meth:`CheckHub.session` or the :func:`repro.api.check_run`
+entry point).  The checker only ever *reads* simulator state: a run with
+a checker installed produces summaries byte-identical to a checker-off
+run.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from .rules import InvariantChecker
+
+__all__ = ["CheckHub", "CHECK"]
+
+
+class CheckHub:
+    """Routes invariant hooks to the installed checker (if any)."""
+
+    __slots__ = ("enabled", "checker")
+
+    def __init__(self) -> None:
+        self.enabled: bool = False
+        self.checker: Optional["InvariantChecker"] = None
+
+    def install(self, checker: "InvariantChecker") -> "InvariantChecker":
+        """Start routing hooks to ``checker`` (replacing any current one)."""
+        self.checker = checker
+        self.enabled = True
+        return checker
+
+    def uninstall(self) -> Optional["InvariantChecker"]:
+        """Stop checking; returns the checker that was installed."""
+        checker = self.checker
+        self.checker = None
+        self.enabled = False
+        return checker
+
+    @contextmanager
+    def session(
+        self, checker: "InvariantChecker"
+    ) -> Iterator["InvariantChecker"]:
+        """Install ``checker`` for the duration of a block."""
+        self.install(checker)
+        try:
+            yield checker
+        finally:
+            if self.checker is checker:
+                self.uninstall()
+
+
+#: The process-global check hub every instrumentation point consults.
+CHECK = CheckHub()

@@ -1,0 +1,472 @@
+"""The invariant rules and the checker that evaluates them at runtime.
+
+Each rule encodes one of the paper's stated guarantees:
+
+``capacity``
+    Per-slot capacity conservation (Section II accounting): the sum of
+    primary reservations on a VM matches its incrementally maintained
+    commitment, never exceeds the nominal capacity, the served demand
+    never exceeds the effective (revocation-aware) capacity, and the
+    unlocked opportunistic pools stay inside the allocated-but-idle
+    slack they were carved from.
+``jobs``
+    Job conservation under faults: every submitted job is, at the end of
+    every slot, in exactly one of queued / running / completed /
+    rejected / failed / retry-backoff.
+``gate``
+    Eq. 21 soundness: the preemption gate may only report *unlocked*
+    when the empirical ``Pr(0 ≤ δ < ε)`` (plus its binomial standard
+    error credit) actually meets ``P_th`` on every resource.
+``packing``
+    Packing feasibility (Section III-B): a placed entity's demand fits
+    the availability the chooser saw, and a primary reservation fits the
+    capacity that is genuinely still unreserved (recomputed from the
+    placement list, not from the incremental total).
+``volume``
+    Eq. 22 optimality: when the scheduler selects by unused-resource
+    volume, the chosen VM minimizes that volume over the feasible set it
+    was offered.
+``differential``
+    Opt-in reference-vs-vectorized execution diff (the PR 1 property
+    test as a runtime tool): every slot of every VM is re-derived with
+    the per-placement reference semantics and compared to the vectorized
+    outcome.  See :mod:`repro.check.differential`.
+
+The checker is strictly read-only: it never mutates simulator, VM, job
+or scheduler state, so a checked run's summaries are byte-identical to
+an unchecked run's on every deterministic field (the wall-clock
+``allocation_latency_s`` differs between any two runs, checked or not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..cluster.machine import SlotOutcome, VirtualMachine
+    from ..cluster.simulator import ClusterSimulator
+    from ..core.packing import JobEntity
+    from ..core.preemption import PreemptionGate
+    from .differential import SlotSnapshot
+
+__all__ = [
+    "ALL_RULES",
+    "DEFAULT_RULES",
+    "Violation",
+    "InvariantChecker",
+    "CheckReport",
+]
+
+#: Every known rule name, in reporting order.
+ALL_RULES: tuple[str, ...] = (
+    "capacity",
+    "jobs",
+    "gate",
+    "packing",
+    "volume",
+    "differential",
+)
+
+#: Rules enabled by default — everything except the (expensive)
+#: per-slot differential re-execution, which is opt-in.
+DEFAULT_RULES: tuple[str, ...] = (
+    "capacity",
+    "jobs",
+    "gate",
+    "packing",
+    "volume",
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, with enough context to locate it."""
+
+    rule: str
+    detail: str
+    slot: Optional[int] = None
+    scheduler: Optional[str] = None
+    vm: Optional[int] = None
+    job: Optional[int] = None
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict form for tables and JSON output."""
+        return {
+            "rule": self.rule,
+            "slot": self.slot,
+            "scheduler": self.scheduler,
+            "vm": self.vm,
+            "job": self.job,
+            "detail": self.detail,
+        }
+
+
+class InvariantChecker:
+    """Evaluates the enabled rules at the simulator's decision points.
+
+    Parameters
+    ----------
+    rules:
+        Rule names to enable (default: :data:`DEFAULT_RULES`).  Unknown
+        names raise immediately — a typo silently checking nothing is
+        exactly the failure mode this subsystem exists to prevent.
+    tolerance:
+        Absolute float slack for the accounting comparisons.
+    max_violations:
+        Violations beyond this many are counted but not stored.
+    """
+
+    def __init__(
+        self,
+        *,
+        rules: Iterable[str] | None = None,
+        tolerance: float = 1e-6,
+        max_violations: int = 200,
+    ) -> None:
+        chosen = tuple(rules) if rules is not None else DEFAULT_RULES
+        unknown = sorted(set(chosen) - set(ALL_RULES))
+        if unknown:
+            raise ValueError(
+                f"unknown invariant rule(s) {unknown}; known: {list(ALL_RULES)}"
+            )
+        if tolerance <= 0:
+            raise ValueError("tolerance must be positive")
+        self.rules = frozenset(chosen)
+        self.tolerance = tolerance
+        self.max_violations = max_violations
+        self.violations: list[Violation] = []
+        self.n_violations = 0
+        #: Per-rule count of evaluations performed (not failures) — a
+        #: run that "passes" with zero checks performed proves nothing,
+        #: so reports surface these alongside the violations.
+        self.checks: dict[str, int] = {rule: 0 for rule in chosen}
+
+    @property
+    def ok(self) -> bool:
+        """True while no invariant has been violated."""
+        return self.n_violations == 0
+
+    def _report(
+        self,
+        rule: str,
+        detail: str,
+        *,
+        slot: int | None = None,
+        scheduler: str | None = None,
+        vm: int | None = None,
+        job: int | None = None,
+    ) -> None:
+        self.n_violations += 1
+        if len(self.violations) < self.max_violations:
+            self.violations.append(
+                Violation(
+                    rule=rule, detail=detail, slot=slot,
+                    scheduler=scheduler, vm=vm, job=job,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # simulator slot-loop hooks
+    # ------------------------------------------------------------------
+    def before_execute(self, vm: "VirtualMachine") -> "SlotSnapshot | None":
+        """Capture a pre-execution snapshot (differential rule only)."""
+        if "differential" not in self.rules:
+            return None
+        from .differential import capture_snapshot
+
+        return capture_snapshot(vm)
+
+    def after_execute(
+        self,
+        vm: "VirtualMachine",
+        slot: int,
+        outcome: "SlotOutcome",
+        snapshot: "SlotSnapshot | None" = None,
+        *,
+        scheduler: str | None = None,
+    ) -> None:
+        """Per-VM capacity conservation + optional differential diff."""
+        tol = self.tolerance
+        if "capacity" in self.rules:
+            self.checks["capacity"] += 1
+            committed = vm._committed
+            recomputed = vm.reserved_total()
+            if np.any(np.abs(committed - recomputed) > tol):
+                self._report(
+                    "capacity",
+                    f"commitment drift: incremental {committed.tolist()} != "
+                    f"recomputed {recomputed.tolist()}",
+                    slot=slot, scheduler=scheduler, vm=vm.vm_id,
+                )
+            base = vm.base_capacity.as_array()
+            if np.any(committed > base + tol):
+                self._report(
+                    "capacity",
+                    f"committed {committed.tolist()} exceeds nominal "
+                    f"capacity {base.tolist()}",
+                    slot=slot, scheduler=scheduler, vm=vm.vm_id,
+                )
+            cap = vm.capacity.as_array()
+            served = outcome.served_demand.as_array()
+            if np.any(served > cap + tol):
+                self._report(
+                    "capacity",
+                    f"served demand {served.tolist()} exceeds effective "
+                    f"capacity {cap.tolist()}",
+                    slot=slot, scheduler=scheduler, vm=vm.vm_id,
+                )
+            expected_unused = np.maximum(
+                outcome.committed.as_array() - outcome.primary_demand.as_array(),
+                0.0,
+            )
+            if np.any(np.abs(outcome.unused.as_array() - expected_unused) > tol):
+                self._report(
+                    "capacity",
+                    f"unused {outcome.unused.as_array().tolist()} != "
+                    f"max(committed - primary demand, 0) "
+                    f"{expected_unused.tolist()}",
+                    slot=slot, scheduler=scheduler, vm=vm.vm_id,
+                )
+        if snapshot is not None:
+            self.checks["differential"] += 1
+            from .differential import diff_outcome
+
+            for detail in diff_outcome(snapshot, outcome, vm):
+                self._report(
+                    "differential", detail,
+                    slot=slot, scheduler=scheduler, vm=vm.vm_id,
+                )
+
+    def end_slot(
+        self, sim: "ClusterSimulator", slot: int, n_submitted: int
+    ) -> None:
+        """Job conservation + opportunistic-pool sanity, once per slot."""
+        if "jobs" in self.rules:
+            self.checks["jobs"] += 1
+            backlog = 0 if sim.faults is None else sim.faults.backlog_count()
+            buckets = {
+                "pending": len(sim.pending),
+                "running": len(sim.running),
+                "completed": len(sim.completed),
+                "rejected": len(sim.rejected),
+                "failed": len(sim.failed),
+                "backoff": backlog,
+            }
+            accounted = sum(buckets.values())
+            if accounted != n_submitted:
+                self._report(
+                    "jobs",
+                    f"job conservation broken: {buckets} sums to "
+                    f"{accounted}, but {n_submitted} jobs were submitted",
+                    slot=slot, scheduler=sim.scheduler.name,
+                )
+        if "capacity" in self.rules:
+            # The unlocked opportunistic pools live inside commitments:
+            # they can never go negative or exceed the VM's nominal
+            # capacity.  (They may transiently exceed the *current*
+            # commitment mid-window when a primary completes early — the
+            # strict committed-slack bound is checked at refresh time by
+            # observe_pools.)
+            pools = getattr(sim.scheduler, "_available_unused", None)
+            if pools:
+                tol = self.tolerance
+                vms = {vm.vm_id: vm for vm in sim.vms}
+                for vm_id, pool in pools.items():
+                    self.checks["capacity"] += 1
+                    vm = vms.get(vm_id)
+                    if vm is None:  # pragma: no cover - defensive
+                        continue
+                    base = vm.base_capacity.as_array()
+                    if np.any(pool < -tol) or np.any(pool > base + tol):
+                        self._report(
+                            "capacity",
+                            f"opportunistic pool {np.asarray(pool).tolist()} "
+                            f"outside [0, nominal capacity "
+                            f"{base.tolist()}]",
+                            slot=slot, scheduler=sim.scheduler.name, vm=vm_id,
+                        )
+
+    # ------------------------------------------------------------------
+    # provisioning hooks
+    # ------------------------------------------------------------------
+    def observe_pools(self, scheduler: object) -> None:
+        """At forecast refresh: unlocked pools fit the committed slack.
+
+        This is the strict form of the "unlocked resource never exceeds
+        allocated-but-idle capacity" invariant — valid exactly when the
+        pools are (re)derived, before mid-window completions can shrink
+        the commitment underneath them.
+        """
+        if "capacity" not in self.rules:
+            return
+        pools = getattr(scheduler, "_available_unused", None)
+        if not pools:
+            return
+        tol = self.tolerance
+        sim = getattr(scheduler, "_sim", None)
+        slot = sim.current_slot if sim is not None else None
+        vms = {vm.vm_id: vm for vm in getattr(scheduler, "vms", ())}
+        for vm_id, pool in pools.items():
+            self.checks["capacity"] += 1
+            vm = vms.get(vm_id)
+            if vm is None:  # pragma: no cover - defensive
+                continue
+            slack = vm.committed().as_array()
+            if np.any(pool < -tol) or np.any(pool > slack + tol):
+                self._report(
+                    "capacity",
+                    f"refreshed opportunistic pool "
+                    f"{np.asarray(pool).tolist()} exceeds committed "
+                    f"slack {slack.tolist()}",
+                    slot=slot,
+                    scheduler=getattr(scheduler, "name", None),
+                    vm=vm_id,
+                )
+
+    def observe_placement(
+        self,
+        scheduler: object,
+        entity: "JobEntity",
+        vm: "VirtualMachine",
+        slot: int,
+        *,
+        opportunistic: bool,
+        candidates: Sequence[tuple["VirtualMachine", object]] | None = None,
+        demand: object = None,
+    ) -> None:
+        """Packing feasibility (Section III-B) and Eq. 22 optimality."""
+        name = getattr(scheduler, "name", None)
+        chosen_avail = None
+        if candidates is not None:
+            chosen_avail = next((a for v, a in candidates if v is vm), None)
+        if "packing" in self.rules:
+            self.checks["packing"] += 1
+            if (
+                chosen_avail is not None
+                and demand is not None
+                and not demand.fits_within(chosen_avail, atol=self.tolerance)
+            ):
+                self._report(
+                    "packing",
+                    f"entity demand {demand.as_array().tolist()} does not "
+                    f"fit the chosen availability "
+                    f"{chosen_avail.as_array().tolist()}",
+                    slot=slot, scheduler=name, vm=vm.vm_id,
+                    job=entity.job_ids()[0],
+                )
+            if not opportunistic:
+                # Recompute the genuinely unreserved capacity from the
+                # placement list itself — an over-allocation that fooled
+                # the (possibly corrupted) incremental accounting cannot
+                # fool this.
+                free = vm.capacity.as_array() - vm.reserved_total()
+                need = entity.demand.as_array()
+                if np.any(need > free + self.tolerance):
+                    self._report(
+                        "packing",
+                        f"primary reservation {need.tolist()} exceeds "
+                        f"unreserved capacity {free.tolist()}",
+                        slot=slot, scheduler=name, vm=vm.vm_id,
+                        job=entity.job_ids()[0],
+                    )
+        if (
+            "volume" in self.rules
+            and candidates is not None
+            and demand is not None
+            and chosen_avail is not None
+            and getattr(scheduler, "uses_volume_selection", False)
+        ):
+            sim = getattr(scheduler, "_sim", None)
+            if sim is not None:
+                from ..core.vm_selection import min_feasible_volume, unused_volume
+
+                self.checks["volume"] += 1
+                reference = sim.max_vm_capacity()
+                best = min_feasible_volume(demand, candidates, reference)
+                chosen_volume = unused_volume(chosen_avail, reference)
+                if best is not None and chosen_volume > best + 1e-9:
+                    self._report(
+                        "volume",
+                        f"chosen VM volume {chosen_volume:.6f} is not the "
+                        f"feasible minimum {best:.6f} "
+                        f"(Eq. 22 most-matched)",
+                        slot=slot, scheduler=name, vm=vm.vm_id,
+                        job=entity.job_ids()[0],
+                    )
+
+    # ------------------------------------------------------------------
+    # preemption-gate hook
+    # ------------------------------------------------------------------
+    def observe_gate(
+        self,
+        gate: "PreemptionGate",
+        unlocked: bool,
+        *,
+        scheduler: str | None = None,
+        slot: int | None = None,
+    ) -> None:
+        """Eq. 21: an *unlock* must be backed by the tracked evidence.
+
+        The deny direction is always sound (keeping resources locked can
+        cost utilization, never correctness), so only unlocks are
+        re-derived from the trackers.
+        """
+        if "gate" not in self.rules:
+            return
+        self.checks["gate"] += 1
+        if not unlocked:
+            return
+        for kind in range(len(gate.trackers)):
+            p, standard_error, n = gate.evidence(kind)
+            if n == 0:
+                self._report(
+                    "gate",
+                    f"unlocked with zero error samples on resource {kind}",
+                    slot=slot, scheduler=scheduler,
+                )
+                continue
+            if np.isnan(p):  # pragma: no cover - n > 0 implies a value
+                self._report(
+                    "gate",
+                    f"unlocked with undefined Pr(0 <= delta < eps) on "
+                    f"resource {kind}",
+                    slot=slot, scheduler=scheduler,
+                )
+                continue
+            if p + standard_error < gate.probability_threshold - 1e-12:
+                self._report(
+                    "gate",
+                    f"unlocked on resource {kind} with Pr={p:.4f} "
+                    f"(+{standard_error:.4f} s.e., n={n}) below "
+                    f"P_th={gate.probability_threshold:.4f}",
+                    slot=slot, scheduler=scheduler,
+                )
+
+
+@dataclass
+class CheckReport:
+    """What one checked run produced: violations, coverage, summaries."""
+
+    violations: list[Violation]
+    checks: dict[str, int]
+    n_violations: int
+    #: Per-method run summaries, identical to what an unchecked
+    #: ``compare()`` over the same scenario would return.
+    summaries: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when no invariant was violated."""
+        return self.n_violations == 0
+
+    @property
+    def n_checks(self) -> int:
+        """Total rule evaluations performed across the run."""
+        return sum(self.checks.values())
+
+    def rows(self) -> list[dict[str, object]]:
+        """Stored violations as flat table rows."""
+        return [v.as_row() for v in self.violations]

@@ -154,6 +154,20 @@ class VirtualMachine:
             )
         return vec
 
+    def reserved_total(self) -> np.ndarray:
+        """Σ reserved over primary placements, recomputed from scratch.
+
+        Deliberately independent of the incrementally maintained
+        ``_committed`` total: the invariant checker
+        (:mod:`repro.check`) diffs the two to catch accounting drift,
+        so this must not share that bookkeeping.
+        """
+        total = np.zeros(NUM_RESOURCES)
+        for p in self.placements:
+            if not p.opportunistic:
+                total += p.reserved.as_array()
+        return total
+
     def primary_demand(self) -> ResourceVector:
         """Current total demand of the primary placements."""
         return ResourceVector.sum(

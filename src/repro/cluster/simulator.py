@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
+from ..check import CHECK
 from ..obs import OBS
 from .job import Job, JobState
 
@@ -231,7 +232,15 @@ class ClusterSimulator:
             for vm in self.vms:
                 if not vm.online:
                     continue
+                snapshot = (
+                    CHECK.checker.before_execute(vm) if CHECK.enabled else None
+                )
                 outcome = vm.execute_slot(slot)
+                if CHECK.enabled:
+                    CHECK.checker.after_execute(
+                        vm, slot, outcome, snapshot,
+                        scheduler=self.scheduler.name,
+                    )
                 outcomes[vm.vm_id] = outcome
                 total_demand += outcome.served_demand.as_array()
                 total_committed += outcome.committed.as_array()
@@ -246,6 +255,9 @@ class ClusterSimulator:
 
             # 5. scheduler feedback
             self.scheduler.on_slot_end(slot, outcomes)
+
+            if CHECK.enabled:
+                CHECK.checker.end_slot(self, slot, n_submitted)
 
             if OBS.enabled:
                 w = self.metrics.weights

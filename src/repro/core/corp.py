@@ -26,6 +26,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..check import CHECK
 from ..cluster.job import Job
 from ..cluster.machine import VirtualMachine
 from ..cluster.resources import NUM_RESOURCES, ResourceKind, ResourceVector
@@ -172,6 +173,12 @@ class CorpScheduler(ProvisioningSchedulerBase):
         when observability is on.
         """
         unlocked = self.gate.all_unlocked()
+        if CHECK.enabled:
+            CHECK.checker.observe_gate(
+                self.gate, unlocked,
+                scheduler=self.name,
+                slot=self._sim.current_slot if self._sim is not None else None,
+            )
         if OBS.enabled:
             OBS.emit(
                 "preemption",
@@ -207,6 +214,11 @@ class CorpScheduler(ProvisioningSchedulerBase):
     # ------------------------------------------------------------------
     # packing / placement hooks
     # ------------------------------------------------------------------
+    @property
+    def uses_volume_selection(self) -> bool:
+        """Whether ``choose_vm`` applies the Eq. 22 most-matched rule."""
+        return self.config.use_volume_selection
+
     def make_entities(self, pending: Sequence[Job]) -> list[JobEntity]:
         """Complementary packing (Section III-B), unless ablated off."""
         if not self.config.use_packing:

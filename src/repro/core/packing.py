@@ -47,6 +47,10 @@ class JobEntity:
     def __post_init__(self) -> None:
         if not 1 <= len(self.jobs) <= 2:
             raise ValueError("an entity holds one or two jobs")
+        if len(self.jobs) == 2 and self.jobs[0].job_id == self.jobs[1].job_id:
+            # A job packed with itself would double-count its demand in
+            # every feasibility check downstream.
+            raise ValueError("a packed pair must hold two distinct jobs")
 
     @property
     def demand(self) -> ResourceVector:

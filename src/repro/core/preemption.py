@@ -63,6 +63,21 @@ class PreemptionGate:
         """Empirical ``Pr(0 ≤ δ < ε)`` for one resource."""
         return self.trackers[int(kind)].probability_within(self.error_tolerance)
 
+    def evidence(self, kind: ResourceKind) -> tuple[float, float, int]:
+        """``(probability, standard error, n samples)`` behind the gate.
+
+        The tuple the unlock decision is a function of — exposed so the
+        invariant checker (:mod:`repro.check`) can re-derive Eq. 21
+        independently of :meth:`unlocked`'s verdict.  With no samples
+        the probability is NaN (not a confident 0 or 1).
+        """
+        n = self.trackers[int(kind)].n_samples
+        if n == 0:
+            return (float("nan"), float("nan"), 0)
+        p = self.probability(kind)
+        standard_error = float(np.sqrt(max(p * (1.0 - p), 1e-12) / n))
+        return (p, standard_error, n)
+
     def unlocked(self, kind: ResourceKind) -> bool:
         """Eq. 21 for one resource type.
 
@@ -72,13 +87,11 @@ class PreemptionGate:
         estimator meeting its nominal coverage would still fail a strict
         comparison about half the time purely from sampling noise.
         """
-        n = self.trackers[int(kind)].n_samples
+        p, standard_error, n = self.evidence(kind)
         if n == 0:
             # No evidence yet: probability_within is NaN and the gate
             # stays locked (the conservative default).
             return False
-        p = self.probability(kind)
-        standard_error = float(np.sqrt(max(p * (1.0 - p), 1e-12) / n))
         return p + standard_error >= self.probability_threshold
 
     def all_unlocked(self) -> bool:

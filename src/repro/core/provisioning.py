@@ -25,6 +25,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..check import CHECK
 from ..cluster.job import Job
 from ..cluster.machine import Placement, SlotOutcome, VirtualMachine
 from ..cluster.resources import NUM_RESOURCES, ResourceVector
@@ -43,6 +44,11 @@ class ProvisioningSchedulerBase(Scheduler):
     #: Whether the scheme reallocates predicted-unused resources
     #: opportunistically (CORP and RCCR do; CloudScale and DRA do not).
     supports_opportunistic: bool = True
+
+    #: Whether ``choose_vm`` selects by Eq. 22 unused-resource volume.
+    #: The invariant checker only asserts most-matched optimality for
+    #: schedulers that claim it (CORP overrides this per its config).
+    uses_volume_selection: bool = False
 
     #: Which realized aggregate the window forecast is compared against
     #: in the Eq. 20 error samples: the window's *mean* availability
@@ -225,6 +231,8 @@ class ProvisioningSchedulerBase(Scheduler):
             self._available_unused[vm.vm_id] = np.clip(
                 np.minimum(adjusted, committed_slack), 0.0, None
             )
+        if CHECK.enabled:
+            CHECK.checker.observe_pools(self)
 
     def _drop_window_tracking(self, vm_id: int) -> None:
         for store in (
@@ -449,6 +457,14 @@ class ProvisioningSchedulerBase(Scheduler):
         if OBS.enabled:
             self._emit_placement(
                 entity, vm, slot, opportunistic, candidates, demand
+            )
+        if CHECK.enabled:
+            # Before add_placement mutates anything: the availabilities
+            # in ``candidates`` still describe the pre-placement state.
+            CHECK.checker.observe_placement(
+                self, entity, vm, slot,
+                opportunistic=opportunistic,
+                candidates=candidates, demand=demand,
             )
         for job in entity.jobs:
             reserved = (

@@ -19,12 +19,39 @@ import numpy as np
 from ..cluster.machine import VirtualMachine
 from ..cluster.resources import ResourceVector
 
-__all__ = ["unused_volume", "select_most_matched", "select_random_feasible"]
+__all__ = [
+    "unused_volume",
+    "min_feasible_volume",
+    "select_most_matched",
+    "select_random_feasible",
+]
 
 
 def unused_volume(available: ResourceVector, reference: ResourceVector) -> float:
     """Eq. 22: capacity-normalized total of an availability vector."""
     return float(available.normalized_by(reference).as_array().sum())
+
+
+def min_feasible_volume(
+    demand: ResourceVector,
+    candidates: Sequence[tuple[VirtualMachine, ResourceVector]],
+    reference: ResourceVector,
+) -> float | None:
+    """Smallest Eq. 22 volume over the feasible candidates (None if none).
+
+    The optimality bound the invariant checker (:mod:`repro.check`)
+    holds a :func:`select_most_matched` choice to: whatever VM was
+    picked, no feasible candidate may have had a strictly smaller
+    volume.
+    """
+    best: float | None = None
+    for _, available in candidates:
+        if not demand.fits_within(available):
+            continue
+        volume = unused_volume(available, reference)
+        if best is None or volume < best:
+            best = volume
+    return best
 
 
 def select_most_matched(

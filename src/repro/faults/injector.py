@@ -77,6 +77,10 @@ class FaultInjector:
         """Jobs currently in backoff (for end-of-run accounting)."""
         return [job for _, _, job in self._backoff]
 
+    def backlog_count(self) -> int:
+        """Number of jobs in backoff (the checker's per-slot tally)."""
+        return len(self._backoff)
+
     # ------------------------------------------------------------------
     def begin_slot(self, slot: int, sim: "ClusterSimulator") -> None:
         """Apply all fault-plan effects due at the top of ``slot``."""

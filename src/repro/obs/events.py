@@ -159,13 +159,23 @@ class JsonlSink:
         self.close()
 
 
-def read_jsonl(path: str) -> Iterator[dict]:
-    """Parse a JSONL event file back into dicts (blank lines skipped)."""
+def read_jsonl(path: str, *, names: Iterable[str] | None = None) -> Iterator[dict]:
+    """Parse a JSONL event file back into dicts (blank lines skipped).
+
+    ``names`` keeps only records whose ``"event"`` name is listed —
+    large captures are dominated by per-slot events, so consumers that
+    want a few event types (e.g. differential replay) skip the rest
+    without building them.
+    """
+    wanted = None if names is None else set(names)
     with open(path) as fh:
         for line in fh:
             line = line.strip()
-            if line:
-                yield json.loads(line)
+            if not line:
+                continue
+            record = json.loads(line)
+            if wanted is None or record.get("event") in wanted:
+                yield record
 
 
 def events_by_name(records: Iterable[dict]) -> dict[str, list[dict]]:

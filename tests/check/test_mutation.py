@@ -1,0 +1,69 @@
+"""Mutation smoke tests: corrupt the scheduler, watch the checker catch it.
+
+Each test monkeypatches one deliberate bug into the product code and
+asserts the invariant checker reports *exactly* the violation class that
+bug produces — the checker's own regression test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro import api
+from repro.cluster.machine import VirtualMachine
+from repro.cluster.profiles import ClusterProfile
+from repro.core.preemption import PreemptionGate
+from repro.forecast.confidence import PredictionErrorTracker
+
+
+def tight_scenario(jobs: int = 20):
+    """A 2-PM / 4-VM cluster the workload genuinely contends for —
+    over-allocation bugs only manifest once capacity runs out."""
+    scenario = api.build_scenario(jobs=jobs)
+    return replace(
+        scenario, profile=ClusterProfile.palmetto(n_pms=2, vms_per_pm=2)
+    )
+
+
+class TestOverAllocation:
+    def test_ignored_commitments_are_caught(self, monkeypatch):
+        """A VM that forgets its commitments admits infeasible primaries.
+
+        Patching ``unallocated`` to hand out the full capacity disables
+        both candidate filtering and ``add_placement``'s guard, so the
+        scheduler over-commits.  The packing rule recomputes the free
+        capacity from the placement list itself and must flag it.
+        """
+
+        def bogus_unallocated(self: VirtualMachine):
+            return self.capacity  # ignores self._committed entirely
+
+        monkeypatch.setattr(VirtualMachine, "unallocated", bogus_unallocated)
+        report = api.check_run(scenario=tight_scenario(), methods=("DRA",))
+        assert not report.ok
+        rules = {v.rule for v in report.violations}
+        assert "packing" in rules
+        # Over-commitment corrupts capacity accounting too; nothing else.
+        assert rules <= {"packing", "capacity"}
+        flagged = [v for v in report.violations if v.rule == "packing"]
+        assert any("exceeds" in v.detail for v in flagged)
+
+
+class TestBogusUnlock:
+    def test_gate_bypass_is_caught(self, monkeypatch):
+        """An Eq. 21 gate that always unlocks must be contradicted by the
+        tracked evidence the checker re-derives."""
+        monkeypatch.setattr(
+            PreemptionGate, "all_unlocked", lambda self: True
+        )
+        monkeypatch.setattr(
+            PredictionErrorTracker,
+            "probability_within",
+            lambda self, tolerance: 0.0,
+        )
+        report = api.check_run(jobs=12, methods=("CORP",))
+        assert not report.ok
+        rules = {v.rule for v in report.violations}
+        assert rules == {"gate"}
+        details = " ".join(v.detail for v in report.violations)
+        assert "zero error samples" in details or "below" in details

@@ -3,12 +3,25 @@
 Test-speed policy: anything that trains the DNN or runs a simulation
 uses deliberately tiny sizes; the expensive offline fit is shared
 session-wide through ``fitted_predictor``.
+
+Hypothesis runs the derandomized ``ci`` profile by default so CI
+failures reproduce locally from the same examples; set
+``HYPOTHESIS_PROFILE=dev`` to explore fresh random examples.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings as hypothesis_settings
+
+hypothesis_settings.register_profile(
+    "ci", derandomize=True, deadline=None, print_blob=True
+)
+hypothesis_settings.register_profile("dev", deadline=None)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 from repro.cluster.profiles import ClusterProfile
 from repro.cluster.resources import ResourceVector

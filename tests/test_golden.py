@@ -1,0 +1,97 @@
+"""Golden-trace regression suite: the committed seeded summaries.
+
+The golden file under ``tests/golden/`` freezes the per-method summary
+metrics of the seeded 30-job comparison, fault-free and under the seeded
+fault plan.  Any behavioural drift in the simulator, schedulers,
+predictors or fault layer fails here with the exact metric that moved.
+Re-record intentional changes with ``python -m repro golden --update``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.check.golden import (
+    NONDETERMINISTIC_KEYS,
+    compute_golden,
+    default_golden_path,
+    diff_golden,
+    golden_digest,
+    load_golden,
+)
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    path = default_golden_path(GOLDEN_DIR, jobs=30, testbed="cluster", seed=7)
+    if not os.path.exists(path):
+        pytest.fail(
+            f"missing golden file {path}; record it with "
+            f"`python -m repro golden --update`"
+        )
+    return load_golden(path)
+
+
+@pytest.fixture(scope="module")
+def fresh(recorded):
+    meta = recorded["meta"]
+    return compute_golden(
+        jobs=meta["jobs"],
+        testbed=meta["testbed"],
+        seed=meta["seed"],
+        fault_intensity=meta["fault_intensity"],
+        fault_seed=meta["fault_seed"],
+    )
+
+
+class TestGoldenMatch:
+    def test_no_drift(self, recorded, fresh):
+        drift = diff_golden(recorded, fresh)
+        assert not drift, (
+            "seeded summaries drifted from tests/golden "
+            "(re-record with `python -m repro golden --update` if this "
+            "change is intentional):\n  " + "\n  ".join(drift)
+        )
+
+    def test_digest_matches(self, recorded, fresh):
+        assert recorded["digest"] == golden_digest(recorded)
+        assert fresh["digest"] == recorded["digest"]
+
+    def test_covers_all_methods_in_both_sections(self, recorded):
+        methods = set(recorded["meta"]["methods"])
+        assert set(recorded["fault_free"]) == methods
+        assert set(recorded["faulted"]) == methods
+
+    def test_excludes_wall_clock_metrics(self, recorded):
+        for section in ("fault_free", "faulted"):
+            for summary in recorded[section].values():
+                assert not NONDETERMINISTIC_KEYS & set(summary)
+
+
+class TestGoldenMachinery:
+    def test_diff_reports_value_drift(self, recorded):
+        import copy
+
+        tampered = copy.deepcopy(recorded)
+        method = recorded["meta"]["methods"][0]
+        tampered["fault_free"][method]["overall_utilization"] += 0.01
+        lines = diff_golden(recorded, tampered)
+        assert len(lines) == 1
+        assert f"fault_free/{method}/overall_utilization" in lines[0]
+
+    def test_diff_reports_missing_method(self, recorded):
+        import copy
+
+        tampered = copy.deepcopy(recorded)
+        method = recorded["meta"]["methods"][0]
+        del tampered["faulted"][method]
+        lines = diff_golden(recorded, tampered)
+        assert any(f"faulted/{method}" in line for line in lines)
+
+    def test_default_path_is_parameterized(self):
+        path = default_golden_path("g", jobs=30, testbed="cluster", seed=7)
+        assert path == os.path.join("g", "cluster_j30_seed7.json")

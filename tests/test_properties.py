@@ -8,8 +8,12 @@ from hypothesis import strategies as st
 from repro.cluster.job import Job, JobState
 from repro.cluster.machine import Placement, VirtualMachine
 from repro.cluster.resources import ResourceVector
-from repro.core.packing import pack_jobs
-from repro.core.vm_selection import select_most_matched, unused_volume
+from repro.core.packing import deviation, pack_jobs
+from repro.core.vm_selection import (
+    min_feasible_volume,
+    select_most_matched,
+    unused_volume,
+)
 from repro.hmm.discretize import ThresholdBands
 from repro.hmm.forward_backward import forward_backward
 from repro.hmm.model import default_fluctuation_model
@@ -57,6 +61,82 @@ class TestPackingProperties:
         for entity in pack_jobs(jobs):
             expected = ResourceVector.sum(j.requested for j in entity.jobs)
             assert entity.demand == expected
+
+
+class TestDeviationProperties:
+    """Paper Eq. DV(j, i) — the complementary-packing score."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(request, request)
+    def test_symmetric(self, a, b):
+        va, vb = ResourceVector(a), ResourceVector(b)
+        assert deviation(va, vb) == pytest.approx(deviation(vb, va))
+        reference = ResourceVector([8, 16, 100])
+        assert deviation(va, vb, reference) == pytest.approx(
+            deviation(vb, va, reference)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(request, request)
+    def test_non_negative(self, a, b):
+        assert deviation(ResourceVector(a), ResourceVector(b)) >= 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(request)
+    def test_self_deviation_is_zero(self, a):
+        va = ResourceVector(a)
+        assert deviation(va, va) == pytest.approx(0.0, abs=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(request, request)
+    def test_closed_form(self, a, b):
+        """DV equals its algebraic simplification Σ_k (d_jk − d_ik)² / 2."""
+        va, vb = np.asarray(a), np.asarray(b)
+        expected = float(np.sum((va - vb) ** 2) / 2)
+        assert deviation(ResourceVector(a), ResourceVector(b)) == pytest.approx(
+            expected
+        )
+
+
+class TestVolumeProperties:
+    """Paper Eq. 22 — the unused-resource volume ordering."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(request, request)
+    def test_monotone_in_availability(self, a, b):
+        """Elementwise-larger availability never has smaller volume."""
+        reference = ResourceVector([8, 16, 100])
+        lo = ResourceVector(np.minimum(a, b))
+        hi = ResourceVector(np.maximum(a, b))
+        assert unused_volume(lo, reference) <= unused_volume(hi, reference) + 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(request, st.floats(1.0, 10.0))
+    def test_antitone_in_reference(self, a, scale):
+        """Scaling the reference capacity up scales every volume down."""
+        available = ResourceVector(a)
+        reference = ResourceVector([8, 16, 100])
+        bigger = ResourceVector(reference.as_array() * scale)
+        assert (
+            unused_volume(available, bigger)
+            <= unused_volume(available, reference) + 1e-12
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(request, min_size=1, max_size=8), request)
+    def test_min_feasible_volume_matches_selection(self, availables, demand):
+        """The chosen VM's volume is exactly the feasible minimum."""
+        reference = ResourceVector([8, 16, 100])
+        vms = [VirtualMachine(i, reference) for i in range(len(availables))]
+        candidates = [(vm, ResourceVector(a)) for vm, a in zip(vms, availables)]
+        demand_v = ResourceVector(demand)
+        best = min_feasible_volume(demand_v, candidates, reference)
+        chosen = select_most_matched(demand_v, candidates, reference)
+        if best is None:
+            assert chosen is None
+        else:
+            chosen_avail = {vm.vm_id: a for vm, a in candidates}[chosen.vm_id]
+            assert unused_volume(chosen_avail, reference) == pytest.approx(best)
 
 
 class TestSelectionProperties:
