@@ -6,15 +6,24 @@ twice — once through the pre-optimization legacy shim, once through the
 current hot path — checks the two produce identical results, and writes
 both wall-clock numbers plus the speedup to a JSON report.
 
+``--cold`` instead benchmarks the cold path (fresh-process comparison
+runs where the offline DNN/HMM fit dominates): no store vs cold store
+vs warm store vs process-parallel fits vs warm-started refit, written
+to BENCH_coldpath.json.
+
 Usage::
 
     python benchmarks/bench_runtime.py            # full sweep
     python benchmarks/bench_runtime.py --quick    # CI smoke (2 counts)
     python benchmarks/bench_runtime.py --workers 4
     python benchmarks/bench_runtime.py --out /tmp/bench.json --no-assert
+    python benchmarks/bench_runtime.py --cold     # predictor-store bench
+    python benchmarks/bench_runtime.py --quick \\
+        --regression-against benchmarks/BENCH_reference_quick.json
 
 Exits non-zero if the optimized sweep's summaries deviate from the
-baseline's or (unless ``--no-assert``) the speedup is below 3x.
+baseline's, (unless ``--no-assert``) a speedup floor is missed, or the
+machine-normalized ``--regression-against`` gate fails.
 """
 
 from __future__ import annotations
@@ -27,7 +36,11 @@ import sys
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
-from repro.experiments.bench import write_benchmark  # noqa: E402
+from repro.experiments.bench import (  # noqa: E402
+    check_regression,
+    write_benchmark,
+    write_cold_benchmark,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -37,12 +50,24 @@ def main(argv: list[str] | None = None) -> int:
         help="abbreviated sweep (job counts 50 and 150) for CI smoke runs",
     )
     parser.add_argument(
+        "--cold", action="store_true",
+        help="benchmark the cold path instead: predictor store "
+             "(cold/warm), process-parallel fits, warm-started refits; "
+             "writes BENCH_coldpath.json",
+    )
+    parser.add_argument(
         "--workers", type=int, default=0,
         help="worker processes for the optimized sweep (0 = serial)",
     )
     parser.add_argument(
-        "--out", default=os.path.join(REPO_ROOT, "BENCH_runtime.json"),
-        help="report path (default: BENCH_runtime.json at the repo root)",
+        "--jobs", type=int, default=30,
+        help="job count of the --cold comparison scenario (default: 30, "
+             "the compare --quick setting)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="report path (default: BENCH_runtime.json, or "
+             "BENCH_coldpath.json with --cold, at the repo root)",
     )
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument(
@@ -52,22 +77,61 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--no-assert", action="store_true",
-        help="record the numbers without enforcing the speedup floor",
+        help="record the numbers without enforcing the speedup floors",
+    )
+    parser.add_argument(
+        "--regression-against", metavar="PATH", default=None,
+        help="after the run, fail if the optimized time regressed more "
+             "than 25%% against this committed report "
+             "(machine-normalized via the live legacy baseline)",
     )
     args = parser.parse_args(argv)
+    if args.out is None:
+        name = "BENCH_coldpath.json" if args.cold else "BENCH_runtime.json"
+        args.out = os.path.join(REPO_ROOT, name)
     try:
-        report = write_benchmark(
-            args.out,
-            quick=args.quick,
-            workers=args.workers,
-            seed=args.seed,
-            min_speedup=float("-inf") if args.no_assert else args.min_speedup,
-        )
+        if args.cold:
+            report = write_cold_benchmark(
+                args.out,
+                jobs=args.jobs,
+                seed=args.seed,
+                assert_floors=not args.no_assert,
+            )
+        else:
+            report = write_benchmark(
+                args.out,
+                quick=args.quick,
+                workers=args.workers,
+                seed=args.seed,
+                min_speedup=(
+                    float("-inf") if args.no_assert else args.min_speedup
+                ),
+            )
     except AssertionError as exc:
         print(f"FAILED: {exc}", file=sys.stderr)
         return 1
     print(json.dumps(report, indent=2))
     print(f"\nwrote {args.out}")
+    if args.regression_against:
+        if args.cold:
+            print(
+                "error: --regression-against applies to the sweep bench, "
+                "not --cold",
+                file=sys.stderr,
+            )
+            return 2
+        with open(args.regression_against) as fh:
+            reference = json.load(fh)
+        try:
+            verdict = check_regression(report, reference)
+        except AssertionError as exc:
+            print(f"FAILED: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"regression gate OK: {verdict['measured_s']:.3f}s within the "
+            f"normalized budget {verdict['allowed_s']:.3f}s "
+            f"(machine scale {verdict['machine_scale']:.3f})"
+        )
     return 0
 
 

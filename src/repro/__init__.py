@@ -26,8 +26,14 @@ IEEE CLUSTER 2016), including every substrate the evaluation needs:
   resilience metrics the summaries report under churn;
 * :mod:`repro.check` — runtime invariant checker (capacity / job
   conservation, Eq. 21 gate soundness, packing feasibility, Eq. 22
-  optimality), differential replay of captured event streams, and the
+  optimality, per-placement re-derivation of the vectorized VM
+  selection), differential replay of captured event streams, and the
   golden-trace regression digests;
+* :mod:`repro.core.predictor_store` — persistent content-fingerprinted
+  store of fitted predictors, so fresh processes load the offline
+  DNN/HMM fit instead of repeating it (``repro cache
+  warm|stats|clear``, ``--store`` / ``--warm-start`` /
+  ``--fit-workers`` on the CLI);
 * :mod:`repro.api` — the stable keyword-only facade (``compare``,
   ``sweep``, ``run_one``, ``attach_sink``, ``check_run``, ``replay``)
   and the **only supported import surface** for new code.
@@ -106,7 +112,7 @@ from .api import (
 from .check import CheckReport, InvariantChecker, ReplayReport, Violation
 from .faults import FaultPlan, RetryPolicy
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CloudScaleScheduler",

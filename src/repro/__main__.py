@@ -18,6 +18,17 @@ Commands
 ``golden``    — compare the seeded summaries against the committed
                 golden trace under ``tests/golden/`` (``--update``
                 regenerates it after an intentional change).
+``cache``     — manage the on-disk predictor store: ``stats`` prints
+                the artifact inventory, ``clear`` deletes it, ``warm``
+                pre-fits a scenario's predictor into it so later runs
+                skip the offline DNN/HMM fit entirely.
+
+``compare`` and ``profile`` accept ``--store [DIR]`` (reuse fitted
+predictors across processes via the on-disk store), ``--warm-start``
+(seed unavoidable refits from the nearest stored artifact; changes
+fitted weights, so opt-in), ``--fit-workers N`` (fan the per-resource
+fits across processes, bit-identical to serial), and
+``--predictor-cache-size N`` (in-memory LRU bound).
 
 Experiment execution routes exclusively through :mod:`repro.api`; pass
 ``--events out.jsonl`` to stream structured decision events (slots,
@@ -37,6 +48,10 @@ Examples::
     python -m repro check --replay /tmp/cap.jsonl
     python -m repro golden
     python -m repro golden --update
+    python -m repro cache warm --jobs 200 --seed 7
+    python -m repro compare --jobs 200 --store
+    python -m repro cache stats
+    python -m repro cache clear
 """
 
 from __future__ import annotations
@@ -63,6 +78,41 @@ def _open_events(args: argparse.Namespace) -> bool:
     return True
 
 
+def _make_cache(args: argparse.Namespace) -> api.PredictorCache:
+    """A :class:`PredictorCache` configured from the shared CLI flags."""
+    store = None
+    if getattr(args, "store", None) is not None:
+        store = api.PredictorStore(args.store or None)
+    if getattr(args, "warm_start", False) and store is None:
+        raise ValueError("--warm-start requires --store")
+    return api.PredictorCache(
+        maxsize=args.predictor_cache_size,
+        store=store,
+        warm_start=getattr(args, "warm_start", False),
+        fit_workers=args.fit_workers,
+    )
+
+
+def _print_cache_stats(stats: dict) -> None:
+    """Render the in-memory + store hit/miss summary as a table."""
+    rows = [
+        ["memory entries", f"{stats['size']}/{stats['maxsize']}"],
+        ["memory hits", stats["hits"]],
+        ["memory misses", stats["misses"]],
+    ]
+    store = stats.get("store")
+    if store is not None:
+        rows += [
+            ["store dir", store["root"]],
+            ["store entries", store["entries"]],
+            ["store hits", store["hits"]],
+            ["store misses", store["misses"]],
+            ["store saves", store["saves"]],
+            ["warm starts", stats.get("warm_starts", 0)],
+        ]
+    print(format_table(["predictor cache", "value"], rows, title="predictor cache"))
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     jobs = min(args.jobs, 30) if args.quick else args.jobs
     fault_plan = None
@@ -70,6 +120,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         fault_plan = api.build_fault_plan(
             seed=args.fault_seed, intensity=args.faults
         )
+    cache = _make_cache(args)
     capturing = _open_events(args)
     try:
         results = api.compare(
@@ -78,6 +129,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             seed=args.seed,
             workers=args.workers,
             fault_plan=fault_plan,
+            predictor_cache=cache,
         )
     finally:
         if capturing:
@@ -127,16 +179,26 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                       f"(fault seed {args.fault_seed})",
             )
         )
+    if cache.store is not None:
+        stats = cache.stats()
+        store = stats["store"]
+        print(
+            f"\npredictor store {store['root']}: "
+            f"{store['hits']} hit(s), {store['misses']} miss(es), "
+            f"{store['saves']} save(s), {stats['warm_starts']} warm start(s)"
+        )
     if capturing:
         print(f"\nwrote events to {args.events}")
     return 0
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    cache = _make_cache(args)
     capturing = _open_events(args)
     try:
         report = api.profile_run(
-            jobs=args.jobs, testbed=args.testbed, seed=args.seed
+            jobs=args.jobs, testbed=args.testbed, seed=args.seed,
+            predictor_cache=cache,
         )
     finally:
         if capturing:
@@ -162,6 +224,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
                 title="counters",
             )
         )
+    print()
+    _print_cache_stats(report["predictor_cache"])
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
@@ -419,6 +483,77 @@ def _cmd_golden(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = api.PredictorStore(args.dir or None)
+    if args.action == "stats":
+        stats = store.stats()
+        rows = [
+            ["dir", stats["root"]],
+            ["store version", stats["store_version"]],
+            ["entries", stats["entries"]],
+            ["total bytes", stats["total_bytes"]],
+        ]
+        print(format_table(["predictor store", "value"], rows,
+                           title="on-disk predictor store"))
+        import time
+
+        for meta in store.entries():
+            created = time.strftime(
+                "%Y-%m-%d %H:%M:%S", time.localtime(meta["created"])
+            )
+            print(
+                f"  {meta['fingerprint'][:12]}  "
+                f"history {meta['history_digest'][:12]}  {created}"
+            )
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} artifact(s) from {store.root}")
+        return 0
+    # warm: fit this scenario's predictor into the store so any later
+    # run with the same (config, history) loads instead of fitting.
+    from .core.config import CorpConfig
+
+    jobs = min(args.jobs, 30) if args.quick else args.jobs
+    scenario = api.build_scenario(
+        jobs=jobs, testbed=args.testbed, seed=args.seed
+    )
+    cache = api.PredictorCache(store=store, fit_workers=args.fit_workers)
+    cache.get(CorpConfig(seed=args.seed), scenario.history_trace())
+    verb = "loaded (already warm)" if store.hits else "fitted and stored"
+    print(
+        f"{verb}: predictor for {jobs} jobs on the {args.testbed} "
+        f"profile (seed {args.seed}) in {store.root}"
+    )
+    return 0
+
+
+def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+    """The predictor-cache flags shared by ``compare`` and ``profile``."""
+    parser.add_argument(
+        "--store", nargs="?", const="", default=None, metavar="DIR",
+        help="persist fitted predictors to an on-disk store and load "
+             "them back on later runs (bare flag = $REPRO_CACHE_DIR or "
+             "the XDG cache dir)",
+    )
+    parser.add_argument(
+        "--warm-start", action="store_true",
+        help="seed unavoidable refits from the nearest same-config "
+             "stored artifact (requires --store; changes the fitted "
+             "weights, so results differ from a cold fit)",
+    )
+    parser.add_argument(
+        "--fit-workers", type=int, default=0,
+        help="fan the three per-resource DNN/HMM fits across N worker "
+             "processes (0 = serial; results are identical either way)",
+    )
+    parser.add_argument(
+        "--predictor-cache-size", type=int, default=16,
+        help="in-memory LRU bound of the fitted-predictor cache "
+             "(default: 16)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -461,6 +596,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="cap the job count at 30 (the CI smoke setting)",
     )
+    _add_cache_options(compare)
     compare.set_defaults(func=_cmd_compare)
 
     profile = sub.add_parser(
@@ -479,6 +615,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--events", metavar="PATH", default=None,
         help="also stream decision events to a JSONL file",
     )
+    _add_cache_options(profile)
     profile.set_defaults(func=_cmd_profile)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
@@ -609,6 +746,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     golden.add_argument("--fault-seed", type=int, default=GOLDEN_FAULT_SEED)
     golden.set_defaults(func=_cmd_golden)
+
+    cache = sub.add_parser(
+        "cache", help="manage the on-disk fitted-predictor store"
+    )
+    cache.add_argument(
+        "action", choices=("stats", "clear", "warm"),
+        help="stats: print the artifact inventory; clear: delete every "
+             "artifact; warm: pre-fit one scenario's predictor into the "
+             "store",
+    )
+    cache.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="store directory (default: $REPRO_CACHE_DIR or the XDG "
+             "cache dir)",
+    )
+    cache.add_argument("--jobs", type=int, default=200,
+                       help="(warm) scenario size to pre-fit")
+    cache.add_argument("--testbed", choices=("cluster", "ec2"),
+                       default="cluster")
+    cache.add_argument("--seed", type=int, default=7)
+    cache.add_argument("--fit-workers", type=int, default=0,
+                       help="(warm) worker processes for the fit")
+    cache.add_argument(
+        "--quick", action="store_true",
+        help="(warm) cap the job count at 30 (matches compare --quick)",
+    )
+    cache.set_defaults(func=_cmd_cache)
     return parser
 
 

@@ -32,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
 
 from .cluster.simulator import SimulationResult
 from .core.config import CorpConfig
+from .core.predictor_store import PredictorStore, default_store_dir
 from .experiments.runner import (
     METHOD_ORDER,
     PredictorCache,
@@ -63,6 +64,8 @@ __all__ = [
     "FaultPlan",
     "RetryPolicy",
     "PredictorCache",
+    "PredictorStore",
+    "default_store_dir",
     "Scenario",
     "SimulationResult",
     "METHOD_ORDER",
@@ -312,6 +315,8 @@ def profile_run(
     testbed: str = "cluster",
     seed: int = 7,
     methods: Iterable[str] = METHOD_ORDER,
+    predictor_cache: PredictorCache | None = None,
+    predictor_cache_size: int = 16,
 ) -> dict:
     """Run a profiled comparison and return the per-stage report.
 
@@ -322,19 +327,29 @@ def profile_run(
           "stages":   [{"stage", "calls", "total_s", "mean_s", "share"}...],
           "counters": {name: value, ...},
           "summaries": {method: summary-dict, ...},
+          "predictor_cache": {size, maxsize, hits, misses[, store...]},
           "total_s":  float,
         }
 
+    ``predictor_cache=`` profiles against a caller-configured cache
+    (e.g. one with a :class:`PredictorStore` attached); otherwise a
+    fresh in-memory cache of ``predictor_cache_size`` entries is used.
     The caller keeps any already-attached event sink; profiling state
     and previously recorded counters/timers are reset first so the
     report covers exactly this run.
     """
+    cache = (
+        predictor_cache
+        if predictor_cache is not None
+        else PredictorCache(maxsize=predictor_cache_size)
+    )
     OBS.counters.reset()
     OBS.timers.reset()
     OBS.enable_profiling()
     try:
         results = compare(
-            jobs=jobs, testbed=testbed, seed=seed, methods=methods, workers=0
+            jobs=jobs, testbed=testbed, seed=seed, methods=methods,
+            workers=0, predictor_cache=cache,
         )
     finally:
         OBS.disable_profiling()
@@ -358,6 +373,7 @@ def profile_run(
         "stages": stages,
         "counters": OBS.counters.snapshot(),
         "summaries": {m: r.summary() for m, r in results.items()},
+        "predictor_cache": cache.stats(),
         "total_s": round(total, 6),
     }
 

@@ -27,10 +27,14 @@ Each rule encodes one of the paper's stated guarantees:
     volume, the chosen VM minimizes that volume over the feasible set it
     was offered.
 ``differential``
-    Opt-in reference-vs-vectorized execution diff (the PR 1 property
-    test as a runtime tool): every slot of every VM is re-derived with
-    the per-placement reference semantics and compared to the vectorized
-    outcome.  See :mod:`repro.check.differential`.
+    Opt-in reference-vs-vectorized diff (the PR 1 property test as a
+    runtime tool): every slot of every VM is re-derived with the
+    per-placement reference semantics and compared to the vectorized
+    outcome (see :mod:`repro.check.differential`), and every Eq. 22
+    VM selection is re-derived with the scalar reference loop of
+    :func:`repro.core.vm_selection.select_most_matched` and compared
+    to the scheduler's (vectorized) choice — the vectorized selector
+    is never its own oracle.
 
 The checker is strictly read-only: it never mutates simulator, VM, job
 or scheduler state, so a checked run's summaries are byte-identical to
@@ -392,6 +396,35 @@ class InvariantChecker:
                         "volume",
                         f"chosen VM volume {chosen_volume:.6f} is not the "
                         f"feasible minimum {best:.6f} "
+                        f"(Eq. 22 most-matched)",
+                        slot=slot, scheduler=name, vm=vm.vm_id,
+                        job=entity.job_ids()[0],
+                    )
+        if (
+            "differential" in self.rules
+            and candidates is not None
+            and demand is not None
+            and getattr(scheduler, "uses_volume_selection", False)
+        ):
+            sim = getattr(scheduler, "_sim", None)
+            if sim is not None:
+                from ..core.vm_selection import select_most_matched
+
+                # Re-derive the whole choice with the scalar reference
+                # loop (iterating the candidate set as plain pairs, so a
+                # corrupted CandidateSet fast path cannot vouch for
+                # itself) and demand the identical VM, tie-break
+                # included — strictly stronger than the volume bound.
+                self.checks["differential"] += 1
+                expected = select_most_matched(
+                    demand, list(candidates), sim.max_vm_capacity()
+                )
+                if expected is not vm:
+                    self._report(
+                        "differential",
+                        f"vectorized selection chose VM {vm.vm_id}, but "
+                        f"the per-placement reference selection chooses "
+                        f"VM {expected.vm_id if expected is not None else None} "
                         f"(Eq. 22 most-matched)",
                         slot=slot, scheduler=name, vm=vm.vm_id,
                         job=entity.job_ids()[0],

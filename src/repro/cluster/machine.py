@@ -154,6 +154,15 @@ class VirtualMachine:
             )
         return vec
 
+    def unallocated_array(self) -> np.ndarray:
+        """Read-only array view of :meth:`unallocated` (hot-path variant).
+
+        The placement path stacks these rows into a
+        :class:`~repro.core.vm_selection.CandidateSet` matrix; going
+        through the memoized vector keeps the two views consistent.
+        """
+        return self.unallocated().as_array()
+
     def reserved_total(self) -> np.ndarray:
         """Σ reserved over primary placements, recomputed from scratch.
 

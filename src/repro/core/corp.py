@@ -37,7 +37,7 @@ from .config import CorpConfig
 from .packing import JobEntity, pack_jobs, singleton_entities
 from .predictor import CorpPredictor
 from .provisioning import ProvisioningSchedulerBase
-from .vm_selection import select_most_matched, select_random_feasible
+from .vm_selection import CandidateSet, select_most_matched, select_random_feasible
 
 __all__ = ["CorpScheduler"]
 
@@ -230,9 +230,20 @@ class CorpScheduler(ProvisioningSchedulerBase):
         demand: ResourceVector,
         candidates: Sequence[tuple[VirtualMachine, ResourceVector]],
     ) -> VirtualMachine | None:
-        """Most-matched VM by unused-resource volume (Eq. 22)."""
+        """Most-matched VM by unused-resource volume (Eq. 22).
+
+        On the scheduler's own path ``candidates`` is a
+        :class:`CandidateSet` and the choice is one matrix expression;
+        plain pair lists fall back to the scalar reference loop.
+        """
         if not self.config.use_volume_selection:
+            if isinstance(candidates, CandidateSet):
+                return candidates.select_random_feasible(demand, self.rng)
             return select_random_feasible(demand, candidates, self.rng)
+        if isinstance(candidates, CandidateSet):
+            return candidates.select_most_matched(
+                demand, self.sim.max_vm_capacity()
+            )
         return select_most_matched(
             demand, candidates, reference=self.sim.max_vm_capacity()
         )

@@ -21,10 +21,12 @@ import numpy as np
 
 from ..cluster.resources import NUM_RESOURCES, ResourceKind, ResourceVector
 from ..hmm.fluctuation import FluctuationPredictor
+from ..hmm.model import HiddenMarkovModel
 from ..obs import OBS
 from ..nn.losses import MSE, pinball
 from ..nn.network import FeedForwardNetwork
 from ..nn.optimizers import Adam
+from ..nn.parallel import parallel_map
 from ..nn.training import TrainingConfig, train
 from ..trace.records import Trace
 from .config import CorpConfig
@@ -92,6 +94,96 @@ def build_training_set(
     return np.asarray(xs), np.asarray(ys)[:, None], np.asarray(reqs)
 
 
+@dataclass(frozen=True)
+class _ResourceFitTask:
+    """Everything one resource type's fit needs — plain picklable data.
+
+    Per-resource seeds (net init ``seed + kind``, training shuffle
+    ``seed + 17·(kind+1)``, HMM ``seed + 101·(kind+1)``) make the three
+    fits fully independent, which is what lets :func:`parallel_map` fan
+    them across worker processes bit-identically to the serial loop.
+    """
+
+    config: CorpConfig
+    kind: int
+    x: np.ndarray
+    y: np.ndarray
+    histories: tuple[np.ndarray, ...]
+    warm_weights: list | None = None
+    warm_model: HiddenMarkovModel | None = None
+
+
+@dataclass
+class _ResourceFitResult:
+    """One resource type's fitted models plus telemetry for the parent."""
+
+    net: FeedForwardNetwork
+    fluctuation: FluctuationPredictor
+    seed_errors: np.ndarray
+    prior: float
+    info: dict
+
+
+def _fit_one_resource(task: _ResourceFitTask) -> _ResourceFitResult:
+    """Fit one resource type's DNN + HMM (module-level: pool-callable)."""
+    cfg = task.config
+    kind = task.kind
+    x, y = task.x, task.y
+    net = FeedForwardNetwork(cfg.dnn_layer_sizes(), seed=cfg.seed + kind)
+    if task.warm_weights is not None:
+        # Warm start: begin from the donor's converged weights; the
+        # validation-convergence early stop then spends epochs only on
+        # what the shifted training window actually changed.
+        net.set_weights(task.warm_weights)
+    loss = MSE if cfg.train_quantile is None else pinball(cfg.train_quantile)
+    training = None
+    if x.shape[0] >= 8:
+        training = train(
+            net,
+            x,
+            y,
+            TrainingConfig(
+                max_epochs=cfg.train_max_epochs,
+                batch_size=cfg.train_batch_size,
+                patience=8,
+                seed=cfg.seed + 17 * (kind + 1),
+            ),
+            optimizer=Adam(0.01),
+            loss=loss,
+        )
+        pred = net.predict(x).ravel()
+        # Fraction-of-request errors: the same commitment-fraction
+        # units the scheduler's Eq. 20 trackers use.
+        seed_errors = y.ravel() - pred
+    else:
+        seed_errors = np.zeros(0)
+    prior = 0.0
+    if y.size:
+        # Prior at the same conservatism level the DNN trains to.
+        q = cfg.train_quantile if cfg.train_quantile is not None else 0.5
+        prior = float(np.quantile(y, q))
+
+    # HMM over job-level unused-fraction series.
+    fp = FluctuationPredictor(
+        window=cfg.window_slots,
+        mode=cfg.hmm_mode,  # type: ignore[arg-type]
+        seed=cfg.seed + 101 * (kind + 1),
+    )
+    if task.histories:
+        fp.fit(task.histories, init_model=task.warm_model)
+    # else: unfitted — corrections disabled
+    info = {
+        "n_samples": int(x.shape[0]),
+        "epochs": training.n_epochs if training else 0,
+        "stopped_early": bool(training.stopped_early) if training else False,
+        "val_loss": float(training.final_val_loss) if training else None,
+        "warm_start": task.warm_weights is not None,
+    }
+    return _ResourceFitResult(
+        net=net, fluctuation=fp, seed_errors=seed_errors, prior=prior, info=info
+    )
+
+
 @dataclass
 class CorpPredictor:
     """Fit-once DNN + HMM predictor over all resource types."""
@@ -117,86 +209,95 @@ class CorpPredictor:
         """Whether :meth:`fit` has produced all per-resource models."""
         return len(self.networks) == NUM_RESOURCES
 
-    def fit(self, history: Trace) -> "CorpPredictor":
-        """Offline phase: train one DNN and one HMM per resource type."""
-        with OBS.span("predictor:fit"):
-            return self._fit(history)
+    def fit(
+        self,
+        history: Trace,
+        *,
+        warm_start: "CorpPredictor | None" = None,
+        workers: int = 0,
+    ) -> "CorpPredictor":
+        """Offline phase: train one DNN and one HMM per resource type.
 
-    def _fit(self, history: Trace) -> "CorpPredictor":
+        ``warm_start`` seeds each resource's DNN weights and HMM
+        parameters from a previously fitted predictor (typically the
+        nearest artifact in a :class:`~repro.core.predictor_store.
+        PredictorStore`) before training — the validation-convergence
+        early stop then skips the epochs the donor already paid for.
+        The donor must share the architecture; incompatible or unfitted
+        donors are ignored.  Warm-started fits converge to (slightly)
+        different weights than cold fits, so warm starting is strictly
+        opt-in.
+
+        ``workers >= 2`` fans the per-resource fits (independent by
+        per-resource seeding) across worker processes via
+        :func:`repro.nn.parallel.parallel_map`; results are
+        bit-identical to the serial loop.
+        """
+        with OBS.span("predictor:fit"):
+            return self._fit(history, warm_start=warm_start, workers=workers)
+
+    def _fit(
+        self,
+        history: Trace,
+        *,
+        warm_start: "CorpPredictor | None" = None,
+        workers: int = 0,
+    ) -> "CorpPredictor":
         cfg = self.config
-        self.networks = []
-        self.fluctuation = []
-        self.seed_errors = []
-        self.prior_unused_fraction = np.zeros(NUM_RESOURCES)
+        donor = warm_start
+        if donor is not None and (
+            not donor.fitted
+            or donor.config.dnn_layer_sizes() != cfg.dnn_layer_sizes()
+        ):
+            donor = None
+        tasks: list[_ResourceFitTask] = []
         for kind in ResourceKind:
-            x, y, reqs = build_training_set(
+            x, y, _reqs = build_training_set(
                 history,
                 kind,
                 cfg.input_slots,
                 cfg.window_slots,
                 target=cfg.prediction_target,
             )
-            net = FeedForwardNetwork(
-                cfg.dnn_layer_sizes(), seed=cfg.seed + int(kind)
-            )
-            loss = MSE if cfg.train_quantile is None else pinball(cfg.train_quantile)
-            training = None
-            if x.shape[0] >= 8:
-                training = train(
-                    net,
-                    x,
-                    y,
-                    TrainingConfig(
-                        max_epochs=cfg.train_max_epochs,
-                        batch_size=cfg.train_batch_size,
-                        patience=8,
-                        seed=cfg.seed + 17 * (int(kind) + 1),
-                    ),
-                    optimizer=Adam(0.01),
-                    loss=loss,
-                )
-                pred = net.predict(x).ravel()
-                # Fraction-of-request errors: the same commitment-fraction
-                # units the scheduler's Eq. 20 trackers use.
-                self.seed_errors.append(y.ravel() - pred)
-            else:
-                self.seed_errors.append(np.zeros(0))
-            if y.size:
-                # Prior at the same conservatism level the DNN trains to.
-                q = cfg.train_quantile if cfg.train_quantile is not None else 0.5
-                self.prior_unused_fraction[int(kind)] = float(np.quantile(y, q))
-            self.networks.append(net)
-
-            # HMM over job-level unused-fraction series.
-            fp = FluctuationPredictor(
-                window=cfg.window_slots,
-                mode=cfg.hmm_mode,  # type: ignore[arg-type]
-                seed=cfg.seed + 101 * (int(kind) + 1),
-            )
-            histories = [
+            histories = tuple(
                 1.0 - r.utilization_series()[:, int(kind)]
                 for r in history
                 if r.n_samples >= 2 * cfg.window_slots
-            ]
-            if histories:
-                fp.fit(histories)
-                self.fluctuation.append(fp)
-            else:
-                self.fluctuation.append(fp)  # unfitted: corrections disabled
-            if OBS.enabled:
-                errors = self.seed_errors[-1]
+            )
+            warm_weights = warm_model = None
+            if donor is not None:
+                warm_weights = donor.networks[int(kind)].get_weights()
+                donor_fp = donor.fluctuation[int(kind)]
+                if donor_fp.fitted:
+                    warm_model = donor_fp.model
+            tasks.append(
+                _ResourceFitTask(
+                    config=cfg,
+                    kind=int(kind),
+                    x=x,
+                    y=y,
+                    histories=histories,
+                    warm_weights=warm_weights,
+                    warm_model=warm_model,
+                )
+            )
+        if donor is not None:
+            OBS.count("predictor.warm_start")
+        results = parallel_map(_fit_one_resource, tasks, workers=workers)
+        self.networks = [r.net for r in results]
+        self.fluctuation = [r.fluctuation for r in results]
+        self.seed_errors = [r.seed_errors for r in results]
+        self.prior_unused_fraction = np.array([r.prior for r in results])
+        if OBS.enabled:
+            for kind, result in zip(ResourceKind, results):
+                errors = result.seed_errors
                 OBS.emit(
                     "predictor_fit",
                     resource=kind.label.lower(),
-                    n_samples=int(x.shape[0]),
-                    epochs=training.n_epochs if training else 0,
-                    stopped_early=bool(training.stopped_early)
-                    if training else False,
-                    val_loss=float(training.final_val_loss)
-                    if training else None,
                     rmse=float(np.sqrt(np.mean(errors**2)))
                     if errors.size else None,
-                    hmm_fitted=bool(fp.fitted),
+                    hmm_fitted=bool(result.fluctuation.fitted),
+                    **result.info,
                 )
         return self
 

@@ -33,7 +33,7 @@ from ..cluster.scheduler import Scheduler
 from ..obs import OBS
 from .packing import JobEntity, singleton_entities
 from .preemption import PreemptionGate
-from .vm_selection import select_random_feasible, unused_volume
+from .vm_selection import CandidateSet, select_random_feasible, unused_volume
 
 __all__ = ["ProvisioningSchedulerBase"]
 
@@ -97,6 +97,10 @@ class ProvisioningSchedulerBase(Scheduler):
         self._window_committed: dict[int, np.ndarray] = {}
         self._window_jobset: dict[int, frozenset[int]] = {}
         self._window_raw_forecast: dict[int, np.ndarray] = {}
+        #: Per-``place_jobs`` candidate matrices (rebuilt each call,
+        #: updated incrementally as placements land within it).
+        self._primary_pool = CandidateSet([], np.zeros((0, NUM_RESOURCES)))
+        self._opp_pool = CandidateSet([], np.zeros((0, NUM_RESOURCES)))
         #: Running (min, sum, count) of realized availability over the
         #: window's valid slots — the realized counterpart the forecast
         #: is scored against (see ``actual_aggregate``).
@@ -126,7 +130,14 @@ class ProvisioningSchedulerBase(Scheduler):
         demand: ResourceVector,
         candidates: Sequence[tuple[VirtualMachine, ResourceVector]],
     ) -> VirtualMachine | None:
-        """Pick a feasible VM (default: the baselines' uniform random)."""
+        """Pick a feasible VM (default: the baselines' uniform random).
+
+        ``candidates`` is a :class:`CandidateSet` on the scheduler's own
+        path; overrides that iterate it as ``(vm, availability)`` pairs
+        (the documented shape) keep working unchanged.
+        """
+        if isinstance(candidates, CandidateSet):
+            return candidates.select_random_feasible(demand, self.rng)
         return select_random_feasible(demand, candidates, self.rng)
 
     def opportunistic_allowed(self) -> bool:
@@ -318,7 +329,15 @@ class ProvisioningSchedulerBase(Scheduler):
     # placement
     # ------------------------------------------------------------------
     def place_jobs(self, pending: Sequence[Job], slot: int) -> list[Job]:
-        """Place pending jobs entity by entity; returns those placed."""
+        """Place pending jobs entity by entity; returns those placed.
+
+        The candidate pools (unallocated capacity for primary
+        placements, unlocked predicted unused for opportunistic ones)
+        are built as :class:`CandidateSet` matrices *once* per call and
+        updated incrementally as placements land — the per-entity
+        rebuild of ``(vm, availability)`` lists was the placement path's
+        remaining per-VM Python loop.
+        """
         if not pending:
             return []
         placed: list[Job] = []
@@ -326,6 +345,17 @@ class ProvisioningSchedulerBase(Scheduler):
             self.supports_opportunistic
             and not self._degraded
             and self.opportunistic_allowed()
+        )
+        online = [vm for vm in self.vms if vm.online]
+        self._primary_pool = CandidateSet(
+            online, np.array([vm.unallocated_array() for vm in online])
+        )
+        opp_vms = [
+            vm for vm in online if vm.vm_id in self._available_unused
+        ]
+        self._opp_pool = CandidateSet(
+            opp_vms,
+            np.array([self._available_unused[vm.vm_id] for vm in opp_vms]),
         )
         for entity in self.make_entities(pending):
             placed.extend(
@@ -366,12 +396,8 @@ class ProvisioningSchedulerBase(Scheduler):
                     placed.append(job)
         return placed
 
-    def _opportunistic_candidates(self) -> list[tuple[VirtualMachine, ResourceVector]]:
-        return [
-            (vm, ResourceVector(self._available_unused[vm.vm_id]))
-            for vm in self.vms
-            if vm.online and vm.vm_id in self._available_unused
-        ]
+    def _opportunistic_candidates(self) -> CandidateSet:
+        return self._opp_pool
 
     def _try_opportunistic(self, entity: JobEntity, slot: int) -> bool:
         admission = self.opportunistic_admission_size(entity)
@@ -386,10 +412,11 @@ class ProvisioningSchedulerBase(Scheduler):
         self._available_unused[vm.vm_id] = np.clip(
             self._available_unused[vm.vm_id] - admission.as_array(), 0.0, None
         )
+        candidates.consume(vm, admission.as_array())
         return True
 
     def _try_primary(self, entity: JobEntity, slot: int) -> bool:
-        candidates = [(vm, vm.unallocated()) for vm in self.vms if vm.online]
+        candidates = self._primary_pool
         vm = self.choose_vm(entity.demand, candidates)
         if vm is None:
             return False
@@ -397,6 +424,9 @@ class ProvisioningSchedulerBase(Scheduler):
             entity, vm, slot, opportunistic=False,
             candidates=candidates, demand=entity.demand,
         )
+        # The reservation just reduced the VM's unallocated capacity;
+        # the clip-at-zero mirrors ``max(capacity - committed, 0)``.
+        candidates.consume(vm, entity.demand.as_array())
         return True
 
     def _emit_placement(
@@ -416,10 +446,14 @@ class ProvisioningSchedulerBase(Scheduler):
         """
         feasible = volume = None
         if candidates is not None and demand is not None:
-            feasible = sum(
-                1 for _, avail in candidates if demand.fits_within(avail)
-            )
-            chosen = next((a for v, a in candidates if v is vm), None)
+            if isinstance(candidates, CandidateSet):
+                feasible = candidates.feasible_count(demand)
+                chosen = candidates.availability(vm)
+            else:
+                feasible = sum(
+                    1 for _, avail in candidates if demand.fits_within(avail)
+                )
+                chosen = next((a for v, a in candidates if v is vm), None)
             if chosen is not None and self._sim is not None:
                 volume = unused_volume(chosen, self.sim.max_vm_capacity())
         ids = entity.job_ids()

@@ -12,19 +12,165 @@ entities (best-fit in volume space; Fig. 5's worked example).
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from ..cluster.machine import VirtualMachine
-from ..cluster.resources import ResourceVector
+from ..cluster.resources import NUM_RESOURCES, ResourceVector
 
 __all__ = [
     "unused_volume",
     "min_feasible_volume",
     "select_most_matched",
     "select_random_feasible",
+    "CandidateSet",
 ]
+
+#: Feasibility slack, matching :meth:`ResourceVector.fits_within`.
+_FIT_ATOL = 1e-9
+#: Volume tie window, matching :func:`select_most_matched`'s loop.
+_TIE_ATOL = 1e-12
+
+
+class CandidateSet:
+    """A candidate pool as one ``(n_vms, l)`` availability matrix.
+
+    The vectorized counterpart of the ``[(vm, ResourceVector), ...]``
+    candidate lists: feasibility scans, Eq. 22 volume ranking and the
+    baselines' uniform-random choice become single matrix expressions
+    instead of per-VM Python loops.  The schedulers build one set per
+    placement class per ``place_jobs`` call and keep its rows current
+    with :meth:`consume` as placements land, mirroring the incremental
+    ``execute_slot`` vectorization of PR 1.
+
+    Iteration yields ``(vm, ResourceVector)`` pairs — the exact shape
+    the scalar reference functions, the invariant checker and custom
+    ``choose_vm`` overrides consume — so a ``CandidateSet`` can stand in
+    anywhere a candidate list is expected.  The yielded vectors are
+    snapshots (copies) of the current rows.
+
+    Selection semantics match the scalar loop: smallest Eq. 22 volume
+    over the feasible rows, ties within ``1e-12`` broken toward the
+    lowest ``vm_id``.  (The loop applies its tie tolerance pairwise
+    against a running best, which could chain across candidates closer
+    than ``1e-12`` apart without being exactly tied; real capacity data
+    never produces such near-ties, and exact ties — the case that
+    matters for determinism — resolve identically.)
+    """
+
+    __slots__ = ("vms", "matrix", "_ids", "_rows")
+
+    def __init__(
+        self, vms: Sequence[VirtualMachine], matrix: np.ndarray
+    ) -> None:
+        self.vms = list(vms)
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.size == 0:
+            matrix = np.zeros((len(self.vms), NUM_RESOURCES))
+        if matrix.shape != (len(self.vms), NUM_RESOURCES):
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not match "
+                f"{len(self.vms)} VMs x {NUM_RESOURCES} resources"
+            )
+        self.matrix = matrix.copy()
+        self._ids = np.array([vm.vm_id for vm in self.vms], dtype=np.int64)
+        self._rows = {vm.vm_id: i for i, vm in enumerate(self.vms)}
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Sequence[tuple[VirtualMachine, ResourceVector]]
+    ) -> "CandidateSet":
+        """Build from a scalar-style candidate list."""
+        pairs = list(pairs)
+        vms = [vm for vm, _ in pairs]
+        matrix = (
+            np.array([avail.as_array() for _, avail in pairs])
+            if pairs else np.zeros((0, NUM_RESOURCES))
+        )
+        return cls(vms, matrix)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.vms)
+
+    def __iter__(self) -> Iterator[tuple[VirtualMachine, ResourceVector]]:
+        for i, vm in enumerate(self.vms):
+            yield vm, ResourceVector(self.matrix[i])
+
+    def availability(self, vm: VirtualMachine) -> ResourceVector | None:
+        """Current availability row of ``vm`` (None if not a candidate)."""
+        row = self._rows.get(vm.vm_id)
+        if row is None:
+            return None
+        return ResourceVector(self.matrix[row])
+
+    # ------------------------------------------------------------------
+    def consume(self, vm: VirtualMachine, amount: np.ndarray) -> None:
+        """Decrement ``vm``'s row by ``amount``, clipping at zero.
+
+        Keeps the matrix in sync with a placement that just landed —
+        the incremental update that lets one matrix serve a whole
+        ``place_jobs`` call instead of being rebuilt per entity.
+        """
+        row = self._rows.get(vm.vm_id)
+        if row is None:  # pragma: no cover - placement outside the pool
+            return
+        np.clip(self.matrix[row] - amount, 0.0, None, out=self.matrix[row])
+
+    # ------------------------------------------------------------------
+    def feasible_mask(self, demand: ResourceVector) -> np.ndarray:
+        """Boolean row mask of candidates the demand fits within."""
+        return (demand.as_array() <= self.matrix + _FIT_ATOL).all(axis=1)
+
+    def feasible_count(self, demand: ResourceVector) -> int:
+        """How many candidates the demand fits within."""
+        return int(self.feasible_mask(demand).sum())
+
+    def volumes(self, reference: ResourceVector) -> np.ndarray:
+        """Eq. 22 volume of every row (one matrix-vector product)."""
+        ref = reference.as_array()
+        inv = np.zeros(NUM_RESOURCES)
+        nz = ref > 0
+        inv[nz] = 1.0 / ref[nz]
+        return self.matrix @ inv
+
+    # ------------------------------------------------------------------
+    def select_most_matched(
+        self, demand: ResourceVector, reference: ResourceVector
+    ) -> VirtualMachine | None:
+        """Vectorized Eq. 22 most-matched choice (see class docstring)."""
+        mask = self.feasible_mask(demand)
+        if not mask.any():
+            return None
+        volumes = self.volumes(reference)
+        best = volumes[mask].min()
+        tied = mask & (volumes <= best + _TIE_ATOL)
+        (indices,) = np.nonzero(tied)
+        return self.vms[indices[np.argmin(self._ids[indices])]]
+
+    def min_feasible_volume(
+        self, demand: ResourceVector, reference: ResourceVector
+    ) -> float | None:
+        """Vectorized :func:`min_feasible_volume` (None if none feasible)."""
+        mask = self.feasible_mask(demand)
+        if not mask.any():
+            return None
+        return float(self.volumes(reference)[mask].min())
+
+    def select_random_feasible(
+        self, demand: ResourceVector, rng: np.random.Generator
+    ) -> VirtualMachine | None:
+        """Vectorized uniform-random feasible choice.
+
+        Consumes exactly one ``rng.integers(n_feasible)`` draw — the
+        same stream usage as the scalar loop, so baselines produce
+        identical placements either way.
+        """
+        (indices,) = np.nonzero(self.feasible_mask(demand))
+        if indices.size == 0:
+            return None
+        return self.vms[indices[int(rng.integers(indices.size))]]
 
 
 def unused_volume(available: ResourceVector, reference: ResourceVector) -> float:
@@ -65,6 +211,12 @@ def select_most_matched(
     the placement class being attempted (predicted unused for
     opportunistic placements, unallocated capacity for primary ones).
     Ties break toward the lower VM id for determinism.
+
+    This per-VM loop is the *reference* semantics: the schedulers' hot
+    path runs :meth:`CandidateSet.select_most_matched` instead, and the
+    invariant checker's volume/differential rules re-derive choices
+    through this function — a corrupted vectorized selector therefore
+    cannot hide by also being used as its own oracle.
     """
     best_vm: VirtualMachine | None = None
     best_volume = np.inf

@@ -22,7 +22,10 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import platform
+import shutil
+import tempfile
 import time
 from contextlib import contextmanager
 from typing import Iterable, Mapping, Sequence
@@ -32,6 +35,8 @@ from ..cluster.job import Job
 from ..cluster.machine import VirtualMachine
 from ..cluster.resources import ResourceVector
 from ..cluster.simulator import ClusterSimulator
+from ..core.config import CorpConfig
+from ..core.predictor_store import PredictorStore
 from ..forecast.padding import AdaptivePadding
 from .runner import PredictorCache, run_methods, run_specs, sweep_specs
 from .scenarios import JOB_COUNTS, Scenario, cluster_scenario, ec2_scenario
@@ -43,6 +48,9 @@ __all__ = [
     "sweep_scenarios",
     "run_benchmark",
     "write_benchmark",
+    "run_cold_benchmark",
+    "write_cold_benchmark",
+    "check_regression",
 ]
 
 #: Job counts of the abbreviated (CI smoke) sweep.
@@ -240,6 +248,238 @@ def run_benchmark(
         error.report = report
         raise error
     return report
+
+
+#: Required cold-path ratios.  The offline DNN/HMM fit is ~80% of a
+#: fresh-process comparison run, so loading it from the store instead of
+#: fitting must at least halve the wall clock.  The parallel floor only
+#: binds on multi-core machines — on one core the process fan-out is
+#: pure overhead and the ratio is recorded informationally.
+MIN_WARM_STORE_SPEEDUP: float = 2.0
+MIN_PARALLEL_FIT_SPEEDUP: float = 1.3
+
+
+def _run_cold_variant(
+    scenario: Scenario, cache: PredictorCache, seed: int
+) -> tuple[float, list[dict]]:
+    """One fresh-process-equivalent comparison run (empty memory cache)."""
+    t0 = time.perf_counter()
+    results = run_methods(scenario=scenario, predictor_cache=cache, seed=seed)
+    return time.perf_counter() - t0, _summaries(results.values())
+
+
+def run_cold_benchmark(
+    *,
+    jobs: int = 30,
+    testbed: str = "cluster",
+    seed: int = 7,
+    store_dir: str | None = None,
+    assert_floors: bool = True,
+) -> dict:
+    """Benchmark the cold path: predictor store and parallel fits.
+
+    Every variant runs the full four-scheduler comparison with a *fresh*
+    in-memory :class:`PredictorCache` — the in-process equivalent of a
+    fresh ``repro compare`` invocation, where the offline DNN/HMM fit
+    dominates the wall clock:
+
+    * ``no_store`` — the status-quo cold run (fit from scratch);
+    * ``cold_store`` — first-ever run against an empty store (fit plus
+      artifact save: the write overhead must be negligible);
+    * ``warm_store`` — second fresh process, same store (the fit is
+      replaced by a disk load; this is the headline speedup);
+    * ``parallel_fit`` — fit from scratch with the per-resource fits
+      fanned across one worker process per CPU;
+    * ``warm_start_refit`` — the store holds a same-config artifact fit
+      on a *different* history window, and the refit starts from its
+      weights (informational: warm-started weights legitimately differ,
+      so this variant is exempt from the identity check).
+
+    All variants except ``warm_start_refit`` must reproduce the
+    ``no_store`` summaries exactly.  With ``assert_floors``, the
+    warm-store speedup must reach :data:`MIN_WARM_STORE_SPEEDUP` and —
+    on machines with at least two CPUs — the parallel-fit speedup must
+    reach :data:`MIN_PARALLEL_FIT_SPEEDUP`.
+    """
+    builders = {"cluster": cluster_scenario, "ec2": ec2_scenario}
+    scenario = builders[testbed](jobs, seed=seed)
+    # Same config, different history content: the warm-start donor.
+    donor_scenario = builders[testbed](max(10, jobs // 2), seed=seed)
+
+    owns_dir = store_dir is None
+    root = tempfile.mkdtemp(prefix="repro-coldbench-") if owns_dir else store_dir
+    main_dir = os.path.join(root, "main")
+    warm_dir = os.path.join(root, "warm-donor")
+    cpus = os.cpu_count() or 1
+    try:
+        no_store_s, reference = _run_cold_variant(
+            scenario, PredictorCache(), seed
+        )
+        cold_store_s, cold_summaries = _run_cold_variant(
+            scenario, PredictorCache(store=PredictorStore(main_dir)), seed
+        )
+        warm_store_s, warm_summaries = _run_cold_variant(
+            scenario, PredictorCache(store=PredictorStore(main_dir)), seed
+        )
+        parallel_s, parallel_summaries = _run_cold_variant(
+            scenario, PredictorCache(fit_workers=cpus), seed
+        )
+        # Seed the donor store with a fit on the shorter history, then
+        # time a warm-started refit on the benchmark scenario.
+        donor_store = PredictorStore(warm_dir)
+        PredictorCache(store=donor_store).get(
+            CorpConfig(seed=seed), donor_scenario.history_trace()
+        )
+        warm_start_s, _ = _run_cold_variant(
+            scenario,
+            PredictorCache(store=PredictorStore(warm_dir), warm_start=True),
+            seed,
+        )
+    finally:
+        if owns_dir:
+            shutil.rmtree(root, ignore_errors=True)
+
+    _check_identity(reference, cold_summaries)
+    _check_identity(reference, warm_summaries)
+    _check_identity(reference, parallel_summaries)
+
+    speedups = {
+        "cold_store": round(no_store_s / cold_store_s, 2),
+        "warm_store": round(no_store_s / warm_store_s, 2),
+        "parallel_fit": round(no_store_s / parallel_s, 2),
+        "warm_start_refit": round(no_store_s / warm_start_s, 2),
+    }
+    parallel_floor_applies = cpus >= 2
+    report = {
+        "benchmark": "cold path: fresh-process comparison, offline fit dominant",
+        "mode": "cold",
+        "jobs": jobs,
+        "testbed": testbed,
+        "seed": seed,
+        "cpu_count": cpus,
+        "variants": {
+            "no_store": {
+                "seconds": round(no_store_s, 3),
+                "how": "status quo: DNN/HMM fit from scratch, no store",
+            },
+            "cold_store": {
+                "seconds": round(cold_store_s, 3),
+                "how": "first-ever run: fit from scratch + artifact save",
+            },
+            "warm_store": {
+                "seconds": round(warm_store_s, 3),
+                "how": "second fresh process: fit replaced by a store load",
+            },
+            "parallel_fit": {
+                "seconds": round(parallel_s, 3),
+                "workers": cpus,
+                "how": "fit from scratch, per-resource fits fanned across "
+                       "worker processes (bit-identical to serial)",
+            },
+            "warm_start_refit": {
+                "seconds": round(warm_start_s, 3),
+                "how": "refit seeded from a same-config artifact fit on a "
+                       "different history window (early stop trims epochs; "
+                       "weights differ, identity check exempt)",
+            },
+        },
+        "speedups": speedups,
+        "floors": {
+            "warm_store": MIN_WARM_STORE_SPEEDUP,
+            "parallel_fit": (
+                MIN_PARALLEL_FIT_SPEEDUP if parallel_floor_applies
+                else f"informational on {cpus} CPU(s)"
+            ),
+        },
+        "identity_check": "passed (warm_start_refit exempt)",
+        "machine": platform.machine(),
+    }
+    if assert_floors:
+        failures = []
+        if speedups["warm_store"] < MIN_WARM_STORE_SPEEDUP:
+            failures.append(
+                f"warm_store speedup {speedups['warm_store']:.2f}x below "
+                f"{MIN_WARM_STORE_SPEEDUP:.1f}x"
+            )
+        if (
+            parallel_floor_applies
+            and speedups["parallel_fit"] < MIN_PARALLEL_FIT_SPEEDUP
+        ):
+            failures.append(
+                f"parallel_fit speedup {speedups['parallel_fit']:.2f}x below "
+                f"{MIN_PARALLEL_FIT_SPEEDUP:.1f}x on {cpus} CPUs"
+            )
+        if failures:
+            error = AssertionError(
+                "; ".join(failures)
+                + f" (report: {json.dumps(report, indent=2)})"
+            )
+            error.report = report
+            raise error
+    return report
+
+
+def write_cold_benchmark(path: str, **kwargs) -> dict:
+    """Run the cold-path benchmark and write the JSON report to ``path``.
+
+    Like :func:`write_benchmark`, the report is written even when a
+    speedup floor fails.
+    """
+    try:
+        report = run_cold_benchmark(**kwargs)
+    except AssertionError as exc:
+        report = getattr(exc, "report", None)
+        if report is not None:
+            _dump(path, report)
+        raise
+    _dump(path, report)
+    return report
+
+
+#: Maximum tolerated slowdown of the optimized sweep against the
+#: committed reference, after machine-speed normalization.
+MAX_REGRESSION: float = 0.25
+
+
+def check_regression(
+    report: Mapping, reference: Mapping, *, max_regression: float = MAX_REGRESSION
+) -> dict:
+    """CI regression gate: compare a fresh report to a committed one.
+
+    Raw seconds are not comparable across machines, but both reports
+    carry a live-measured legacy *baseline* of the same workload — its
+    ratio is the machine-speed factor.  The fresh optimized time must
+    stay within ``max_regression`` of the reference optimized time
+    scaled by that factor.
+
+    Returns the verdict dict; raises :class:`AssertionError` on a
+    regression beyond the tolerance.
+    """
+    if report.get("mode") != reference.get("mode"):
+        raise ValueError(
+            f"mode mismatch: report {report.get('mode')!r} vs reference "
+            f"{reference.get('mode')!r} — re-record the reference with the "
+            f"same bench mode"
+        )
+    scale = report["baseline"]["seconds"] / reference["baseline"]["seconds"]
+    allowed = reference["optimized"]["seconds"] * scale * (1.0 + max_regression)
+    measured = report["optimized"]["seconds"]
+    verdict = {
+        "reference_optimized_s": reference["optimized"]["seconds"],
+        "machine_scale": round(scale, 3),
+        "allowed_s": round(allowed, 3),
+        "measured_s": measured,
+        "max_regression": max_regression,
+        "ok": measured <= allowed,
+    }
+    if not verdict["ok"]:
+        raise AssertionError(
+            f"optimized sweep regressed: {measured:.3f}s exceeds the "
+            f"normalized budget {allowed:.3f}s (reference "
+            f"{reference['optimized']['seconds']:.3f}s x machine scale "
+            f"{scale:.3f} x {1.0 + max_regression:.2f})"
+        )
+    return verdict
 
 
 def write_benchmark(path: str, **kwargs) -> dict:

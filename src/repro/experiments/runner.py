@@ -26,6 +26,7 @@ from ..cluster.simulator import ClusterSimulator, SimulationResult
 from ..core.config import CorpConfig
 from ..core.corp import CorpScheduler
 from ..core.predictor import CorpPredictor
+from ..core.predictor_store import PredictorStore, fit_fingerprint
 from ..obs import OBS
 from ..obs.events import Event, JsonlSink, read_jsonl
 from ..trace.records import Trace
@@ -66,9 +67,17 @@ class PredictorCache:
     totals are kept on the instance and mirrored to the observability
     counters ``predictor_cache.hit`` / ``predictor_cache.miss`` when a
     sink or profiler is active.
+
+    A :class:`~repro.core.predictor_store.PredictorStore` extends the
+    cache across processes: memory misses consult the store before
+    fitting, and fresh fits are persisted back.  ``warm_start=True``
+    additionally seeds unavoidable fits from the nearest stored artifact
+    of the same config (opt-in — warm-started weights differ from cold
+    ones); ``fit_workers >= 2`` fans the per-resource fits across
+    processes (bit-identical to serial).
     """
 
-    _cache: "OrderedDict[tuple, CorpPredictor]" = field(
+    _cache: "OrderedDict[str, CorpPredictor]" = field(
         default_factory=OrderedDict
     )
     #: Large enough to hold one fit per scenario of the full sweep (12)
@@ -78,6 +87,17 @@ class PredictorCache:
     maxsize: int = 16
     hits: int = 0
     misses: int = 0
+    #: Optional on-disk artifact store (cross-process tier).
+    store: PredictorStore | None = None
+    #: Seed unavoidable fits from the store's nearest same-config
+    #: artifact.  Opt-in: changes the fitted weights.
+    warm_start: bool = False
+    #: ``>= 2`` fans the independent per-resource fits across worker
+    #: processes; ``0``/``1`` is the plain serial loop.
+    fit_workers: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    warm_starts: int = 0
 
     def __post_init__(self) -> None:
         if self.maxsize < 1:
@@ -91,19 +111,8 @@ class PredictorCache:
 
     def get(self, config: CorpConfig, history: Trace) -> CorpPredictor:
         """Fitted predictor for (config, history), fitting once per key."""
-        key = (
-            history.content_digest(),
-            config.window_slots,
-            config.input_slots,
-            config.n_hidden_layers,
-            config.units_per_layer,
-            config.hmm_mode,
-            config.use_hmm_correction,
-            config.prediction_target,
-            config.train_quantile,
-            config.seed,
-            config.train_max_epochs,
-        )
+        digest = history.content_digest()
+        key = fit_fingerprint(config, digest)
         predictor = self._cache.get(key)
         if predictor is not None:
             self._cache.move_to_end(key)
@@ -112,11 +121,43 @@ class PredictorCache:
             return predictor
         self.misses += 1
         OBS.count("predictor_cache.miss")
-        predictor = CorpPredictor(config=config).fit(history)
+        if self.store is not None:
+            predictor = self.store.load(config, digest)
+            if predictor is not None:
+                self.store_hits += 1
+                self._insert(key, predictor)
+                return predictor
+            self.store_misses += 1
+        donor = None
+        if self.warm_start and self.store is not None:
+            donor = self.store.nearest(config, exclude_digest=digest)
+        predictor = CorpPredictor(config=config).fit(
+            history, warm_start=donor, workers=self.fit_workers
+        )
+        if donor is not None:
+            self.warm_starts += 1
+        if self.store is not None:
+            self.store.save(config, digest, predictor)
+        self._insert(key, predictor)
+        return predictor
+
+    def _insert(self, key: str, predictor: CorpPredictor) -> None:
         self._cache[key] = predictor
         while len(self._cache) > self.maxsize:
             self._cache.popitem(last=False)
-        return predictor
+
+    def stats(self) -> dict:
+        """Hit/miss summary for profile output and ``repro cache stats``."""
+        out = {
+            "size": len(self),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+        if self.store is not None:
+            out["store"] = self.store.stats()
+            out["warm_starts"] = self.warm_starts
+        return out
 
 
 def default_schedulers(

@@ -92,12 +92,19 @@ class FluctuationPredictor:
         histories: Sequence[np.ndarray],
         *,
         em_config: BaumWelchConfig | None = None,
+        init_model: HiddenMarkovModel | None = None,
     ) -> "FluctuationPredictor":
         """Fit bands + HMM on historical unused-resource series.
 
         Each element of ``histories`` is one job's (or VM's) 1-D unused
         series; bands are fitted on the pooled values, the HMM on the
         per-series observation sequences.
+
+        ``init_model`` warm-starts Baum-Welch from a previously fitted
+        ``λ = (A, B, π)`` instead of the seeded default — EM's
+        log-likelihood convergence check then stops after the few
+        iterations the shifted data actually needs.  The donor is
+        copied, never mutated.
         """
         series_list = [np.asarray(h, dtype=np.float64).ravel() for h in histories]
         series_list = [s for s in series_list if s.size > 0]
@@ -110,7 +117,14 @@ class FluctuationPredictor:
             obs for s in series_list
             if (obs := self._observe(s)).size >= 2
         ]
-        self.model = default_fluctuation_model(seed=self.seed)
+        if init_model is not None:
+            self.model = HiddenMarkovModel(
+                init_model.transition.copy(),
+                init_model.emission.copy(),
+                init_model.initial.copy(),
+            )
+        else:
+            self.model = default_fluctuation_model(seed=self.seed)
         if sequences:
             result = baum_welch(self.model, sequences, em_config)
             self.model = result.model

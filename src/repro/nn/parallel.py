@@ -19,7 +19,8 @@ equivalence is asserted by the test suite.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterable, TypeVar
 
 import numpy as np
 
@@ -27,7 +28,34 @@ from .losses import MSE, Loss
 from .network import FeedForwardNetwork
 from .optimizers import Optimizer, SGD
 
-__all__ = ["DataParallelTrainer"]
+__all__ = ["DataParallelTrainer", "parallel_map"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def parallel_map(
+    fn: Callable[[_T], _R], tasks: Iterable[_T], *, workers: int = 0
+) -> list[_R]:
+    """Order-preserving map over independent tasks.
+
+    The fan-out seam for the per-resource DNN/HMM fits (paper Section
+    VI's "distributed deep learning training" future work, restricted
+    to what actually helps here): each task carries its own seeds and
+    shares no state, so running them in worker *processes* is
+    bit-identical to the serial loop — same function, same inputs, same
+    RNG streams, merely elsewhere.
+
+    ``workers <= 1`` (or a single task) runs a plain in-process loop
+    with no multiprocessing machinery.  With processes, ``fn`` must be a
+    module-level callable and tasks/results picklable.
+    """
+    tasks = list(tasks)
+    if workers <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+        futures = [pool.submit(fn, task) for task in tasks]
+        return [future.result() for future in futures]
 
 
 class _Replica:

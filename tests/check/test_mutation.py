@@ -9,10 +9,13 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+import numpy as np
+
 from repro import api
 from repro.cluster.machine import VirtualMachine
 from repro.cluster.profiles import ClusterProfile
 from repro.core.preemption import PreemptionGate
+from repro.core.vm_selection import CandidateSet
 from repro.forecast.confidence import PredictionErrorTracker
 
 
@@ -67,3 +70,54 @@ class TestBogusUnlock:
         assert rules == {"gate"}
         details = " ".join(v.detail for v in report.violations)
         assert "zero error samples" in details or "below" in details
+
+
+class TestCorruptedVectorSelector:
+    def test_anti_most_matched_is_caught(self, monkeypatch):
+        """A vectorized selector that picks the *largest*-volume feasible
+        VM (Eq. 22 inverted) must be contradicted by the differential
+        rule's per-placement scalar re-derivation."""
+
+        def corrupted(self: CandidateSet, demand, reference):
+            mask = self.feasible_mask(demand)
+            if not mask.any():
+                return None
+            indices = np.flatnonzero(mask)
+            volumes = self.volumes(reference)
+            return self.vms[indices[np.argmax(volumes[indices])]]
+
+        monkeypatch.setattr(CandidateSet, "select_most_matched", corrupted)
+        report = api.check_run(jobs=15, methods=("CORP",), differential=True)
+        assert not report.ok
+        rules = {v.rule for v in report.violations}
+        assert "differential" in rules
+        flagged = [v for v in report.violations if v.rule == "differential"]
+        assert any("reference selection" in v.detail for v in flagged)
+
+    def test_wrong_tie_break_is_caught(self, monkeypatch):
+        """Even a subtle corruption — right volume, wrong tie winner —
+        diverges from the reference loop and must be flagged."""
+
+        original = CandidateSet.select_most_matched
+
+        def highest_id_on_ties(self: CandidateSet, demand, reference):
+            chosen = original(self, demand, reference)
+            if chosen is None:
+                return None
+            mask = self.feasible_mask(demand)
+            indices = np.flatnonzero(mask)
+            volumes = self.volumes(reference)
+            tied = indices[volumes[indices] <= volumes.min(initial=np.inf,
+                                                           where=mask) + 1e-9]
+            return self.vms[tied[np.argmax(self._ids[tied])]]
+
+        monkeypatch.setattr(
+            CandidateSet, "select_most_matched", highest_id_on_ties
+        )
+        report = api.check_run(jobs=15, methods=("CORP",), differential=True)
+        rules = {v.rule for v in report.violations}
+        # The 1e-9 tie window is far looser than the reference's 1e-12:
+        # near-ties flip to the highest id and the differential rule
+        # must notice (the volume rule alone cannot — the chosen VM's
+        # volume is still within its tolerance of optimal).
+        assert "differential" in rules

@@ -2,10 +2,13 @@
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.cluster.machine import VirtualMachine
 from repro.cluster.resources import ResourceVector
 from repro.core.vm_selection import (
+    CandidateSet,
     select_most_matched,
     select_random_feasible,
     unused_volume,
@@ -118,3 +121,127 @@ class TestRandomFeasible:
         a = select_random_feasible(demand, candidates, np.random.default_rng(7))
         b = select_random_feasible(demand, candidates, np.random.default_rng(7))
         assert a.vm_id == b.vm_id
+
+
+def random_candidates(draw_values, n):
+    """Build (pairs, CandidateSet) over the same availability values."""
+    vms = [VirtualMachine(i, ResourceVector([30, 30, 30])) for i in range(n)]
+    pairs = [
+        (vm, ResourceVector(draw_values[3 * i: 3 * i + 3]))
+        for i, vm in enumerate(vms)
+    ]
+    return pairs, CandidateSet.from_pairs(pairs)
+
+
+class TestCandidateSetAgainstScalar:
+    """The vectorized selector's oracle is the scalar reference loop."""
+
+    @given(
+        values=st.lists(
+            st.floats(0.0, 25.0, allow_nan=False), min_size=12, max_size=30
+        ).filter(lambda v: len(v) % 3 == 0),
+        demand=st.tuples(
+            st.floats(0.0, 20.0), st.floats(0.0, 20.0), st.floats(0.0, 20.0)
+        ),
+    )
+    def test_most_matched_matches_reference(self, values, demand):
+        pairs, cset = random_candidates(values, len(values) // 3)
+        d = ResourceVector(list(demand))
+        expected = select_most_matched(d, pairs, FIG5_REFERENCE)
+        actual = cset.select_most_matched(d, FIG5_REFERENCE)
+        assert (expected is None) == (actual is None)
+        if expected is not None:
+            assert actual.vm_id == expected.vm_id
+
+    @given(
+        values=st.lists(
+            st.floats(0.0, 25.0, allow_nan=False), min_size=12, max_size=30
+        ).filter(lambda v: len(v) % 3 == 0),
+        demand=st.tuples(
+            st.floats(0.0, 20.0), st.floats(0.0, 20.0), st.floats(0.0, 20.0)
+        ),
+        seed=st.integers(0, 2**16),
+    )
+    def test_random_feasible_consumes_same_rng_stream(self, values, demand, seed):
+        pairs, cset = random_candidates(values, len(values) // 3)
+        d = ResourceVector(list(demand))
+        expected = select_random_feasible(d, pairs, np.random.default_rng(seed))
+        actual = cset.select_random_feasible(d, np.random.default_rng(seed))
+        assert (expected is None) == (actual is None)
+        if expected is not None:
+            assert actual.vm_id == expected.vm_id
+
+    def test_fig5_entities(self):
+        cset = CandidateSet.from_pairs(fig5_candidates())
+        first = cset.select_most_matched(
+            ResourceVector([10, 1, 10]), FIG5_REFERENCE
+        )
+        second = cset.select_most_matched(
+            ResourceVector([8, 1, 8]), FIG5_REFERENCE
+        )
+        assert (first.vm_id, second.vm_id) == (2, 4)
+
+    def test_exact_tie_breaks_to_lowest_id(self):
+        vms = [VirtualMachine(i, ResourceVector([10, 10, 10])) for i in (5, 2, 9)]
+        same = ResourceVector([5, 5, 5])
+        cset = CandidateSet.from_pairs([(vm, same) for vm in vms])
+        chosen = cset.select_most_matched(
+            ResourceVector([1, 1, 1]), ResourceVector([10, 10, 10])
+        )
+        assert chosen.vm_id == 2
+
+    def test_near_tie_within_tolerance_breaks_to_lowest_id(self):
+        """Volumes closer than 1e-12 count as tied, like the scalar loop."""
+        vm_a = VirtualMachine(7, ResourceVector([10, 10, 10]))
+        vm_b = VirtualMachine(1, ResourceVector([10, 10, 10]))
+        cset = CandidateSet.from_pairs([
+            (vm_a, ResourceVector([5.0, 5.0, 5.0])),
+            (vm_b, ResourceVector([5.0 + 2e-13, 5.0, 5.0])),
+        ])
+        chosen = cset.select_most_matched(
+            ResourceVector([1, 1, 1]), ResourceVector([10, 10, 10])
+        )
+        assert chosen.vm_id == 1
+
+
+class TestCandidateSetMechanics:
+    def test_iterates_as_pairs(self):
+        cset = CandidateSet.from_pairs(fig5_candidates())
+        seen = {vm.vm_id: avail.as_array().tolist() for vm, avail in cset}
+        assert seen[3] == [20, 2, 30]
+
+    def test_consume_clamps_at_zero(self):
+        vm = VirtualMachine(0, ResourceVector([10, 10, 10]))
+        cset = CandidateSet.from_pairs([(vm, ResourceVector([3, 3, 3]))])
+        cset.consume(vm, np.array([1.0, 4.0, 2.0]))
+        np.testing.assert_array_equal(
+            cset.availability(vm), np.array([2.0, 0.0, 1.0])
+        )
+
+    def test_consume_affects_later_selection(self):
+        vms = [VirtualMachine(i, ResourceVector([10, 10, 10])) for i in range(2)]
+        cset = CandidateSet.from_pairs(
+            [(vms[0], ResourceVector([4, 4, 4])), (vms[1], ResourceVector([9, 9, 9]))]
+        )
+        demand = ResourceVector([3, 3, 3])
+        ref = ResourceVector([10, 10, 10])
+        assert cset.select_most_matched(demand, ref).vm_id == 0
+        cset.consume(vms[0], demand.as_array())
+        assert cset.select_most_matched(demand, ref).vm_id == 1
+
+    def test_feasible_count(self):
+        cset = CandidateSet.from_pairs(fig5_candidates())
+        assert cset.feasible_count(ResourceVector([10, 1, 10])) == 2
+        assert cset.feasible_count(ResourceVector([100, 100, 100])) == 0
+
+    def test_empty_set(self):
+        cset = CandidateSet([], np.zeros((0, 3)))
+        assert len(cset) == 0 and list(cset) == []
+        assert cset.select_most_matched(
+            ResourceVector([1, 1, 1]), FIG5_REFERENCE
+        ) is None
+
+    def test_shape_mismatch_rejected(self):
+        vm = VirtualMachine(0, ResourceVector([10, 10, 10]))
+        with pytest.raises(ValueError):
+            CandidateSet([vm], np.zeros((2, 3)))

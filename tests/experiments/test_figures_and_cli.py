@@ -142,6 +142,50 @@ class TestCli:
         args = build_parser().parse_args(["compare", "--workers", "2"])
         assert args.workers == 2
 
+    def test_cache_parser_options(self):
+        from repro.__main__ import build_parser
+
+        args = build_parser().parse_args(["cache", "warm", "--jobs", "20"])
+        assert args.action == "warm" and args.jobs == 20
+        args = build_parser().parse_args(
+            ["compare", "--store", "/tmp/s", "--warm-start",
+             "--fit-workers", "2", "--predictor-cache-size", "4"]
+        )
+        assert args.store == "/tmp/s" and args.warm_start
+        assert args.fit_workers == 2 and args.predictor_cache_size == 4
+        # Bare --store means "the default directory".
+        args = build_parser().parse_args(["profile", "--store"])
+        assert args.store == ""
+
+    def test_warm_start_without_store_rejected(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["compare", "--jobs", "5", "--warm-start"]) == 2
+        assert "--warm-start requires --store" in capsys.readouterr().err
+
+    def test_cache_lifecycle_commands(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        store_dir = str(tmp_path / "store")
+        assert main(["cache", "stats", "--dir", store_dir]) == 0
+        assert main(
+            ["cache", "warm", "--jobs", "12", "--quick", "--dir", store_dir]
+        ) == 0
+        assert "fitted and stored" in capsys.readouterr().out
+        assert main(["cache", "stats", "--dir", store_dir]) == 0
+        assert "1" in capsys.readouterr().out
+        # Warming again is a no-op load, and compare reuses the artifact.
+        assert main(
+            ["cache", "warm", "--jobs", "12", "--quick", "--dir", store_dir]
+        ) == 0
+        assert "already warm" in capsys.readouterr().out
+        assert main(
+            ["compare", "--jobs", "12", "--seed", "7", "--store", store_dir]
+        ) == 0
+        assert "1 hit(s)" in capsys.readouterr().out
+        assert main(["cache", "clear", "--dir", store_dir]) == 0
+        assert "cleared 1 artifact" in capsys.readouterr().out
+
 
 class TestBenchModule:
     def test_legacy_mode_restores_patches(self):
@@ -203,3 +247,76 @@ class TestBenchModule:
                 bench.write_benchmark(str(out))
         # The numbers still land on disk as evidence.
         assert json.loads(out.read_text())["speedup"] == 1.0
+
+
+class TestRegressionGate:
+    REFERENCE = {
+        "mode": "quick",
+        "baseline": {"seconds": 10.0},
+        "optimized": {"seconds": 4.0},
+    }
+
+    def test_within_budget_passes(self):
+        from repro.experiments.bench import check_regression
+
+        # A 2x slower machine (baseline 20s) is allowed 4 * 2 * 1.25 = 10s.
+        report = {
+            "mode": "quick",
+            "baseline": {"seconds": 20.0},
+            "optimized": {"seconds": 9.5},
+        }
+        verdict = check_regression(report, self.REFERENCE)
+        assert verdict["ok"] and verdict["allowed_s"] == 10.0
+
+    def test_regression_fails(self):
+        from repro.experiments.bench import check_regression
+
+        report = {
+            "mode": "quick",
+            "baseline": {"seconds": 10.0},
+            "optimized": {"seconds": 5.1},  # budget is 4 * 1.0 * 1.25 = 5.0
+        }
+        with pytest.raises(AssertionError, match="regressed"):
+            check_regression(report, self.REFERENCE)
+
+    def test_mode_mismatch_rejected(self):
+        from repro.experiments.bench import check_regression
+
+        with pytest.raises(ValueError, match="mode mismatch"):
+            check_regression({"mode": "full"}, self.REFERENCE)
+
+    def test_committed_reference_is_quick_mode(self):
+        """The file the CI gate diffs against must stay in quick mode."""
+        import json
+        import os
+
+        path = os.path.join(
+            os.path.dirname(__file__), "..", "..", "benchmarks",
+            "BENCH_reference_quick.json",
+        )
+        reference = json.loads(open(path).read())
+        assert reference["mode"] == "quick"
+        assert reference["identity_check"] == "passed"
+
+
+class TestColdBenchmark:
+    def test_cold_benchmark_smoke(self, tmp_path):
+        """One tiny end-to-end cold bench: identity holds, report sane.
+
+        Floors are not asserted here — at this scenario size the fit no
+        longer dominates, so the ratios are not meaningful; the floor
+        enforcement runs in CI via ``bench_runtime.py --cold``.
+        """
+        from repro.experiments.bench import run_cold_benchmark
+
+        report = run_cold_benchmark(
+            jobs=10, seed=3, store_dir=str(tmp_path), assert_floors=False
+        )
+        assert report["identity_check"].startswith("passed")
+        variants = report["variants"]
+        assert set(variants) == {
+            "no_store", "cold_store", "warm_store", "parallel_fit",
+            "warm_start_refit",
+        }
+        assert all(v["seconds"] > 0 for v in variants.values())
+        assert report["speedups"]["warm_store"] > 1.0
