@@ -96,7 +96,7 @@ from .trace import (
     remove_long_lived,
     resample_trace,
 )
-from . import api, check, faults, obs
+from . import api, check, faults, obs, service
 from .api import (
     attach_sink,
     build_fault_plan,
@@ -105,14 +105,17 @@ from .api import (
     compare,
     detach_sink,
     inject,
+    open_service,
     replay,
     run_one,
     sweep,
+    takeover_run,
 )
 from .check import CheckReport, InvariantChecker, ReplayReport, Violation
-from .faults import FaultPlan, RetryPolicy
+from .faults import FaultPlan, RetryPolicy, TakeoverReport
+from .service import PlacementUpdate, SchedulerKernel, SchedulerService
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "CloudScaleScheduler",
@@ -153,6 +156,7 @@ __all__ = [
     "check",
     "faults",
     "obs",
+    "service",
     "compare",
     "sweep",
     "run_one",
@@ -169,5 +173,11 @@ __all__ = [
     "InvariantChecker",
     "ReplayReport",
     "Violation",
+    "open_service",
+    "takeover_run",
+    "PlacementUpdate",
+    "SchedulerKernel",
+    "SchedulerService",
+    "TakeoverReport",
     "__version__",
 ]

@@ -113,6 +113,18 @@ def _print_cache_stats(stats: dict) -> None:
     print(format_table(["predictor cache", "value"], rows, title="predictor cache"))
 
 
+def _warn_truncated(results: dict) -> None:
+    """Flag runs that hit ``max_slots`` with work still outstanding."""
+    names = [m for m, r in results.items() if r.truncated]
+    if names:
+        print(
+            f"\nWARNING: truncated at max_slots with work still "
+            f"outstanding: {', '.join(names)} — summaries cover an "
+            f"incomplete run",
+            file=sys.stderr,
+        )
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     jobs = min(args.jobs, 30) if args.quick else args.jobs
     fault_plan = None
@@ -189,6 +201,89 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         )
     if capturing:
         print(f"\nwrote events to {args.events}")
+    _warn_truncated(results)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """One lifecycle of the asyncio allocation service (v1.5).
+
+    Opens the service, streams every record of the generated workload
+    into it, consumes the placement stream concurrently, drains, and
+    prints the drained run's summary — the CI smoke path for
+    ``CORP-as-a-daemon``.
+    """
+    import asyncio
+
+    fault_plan = None
+    if args.faults is not None:
+        fault_plan = api.build_fault_plan(
+            seed=args.fault_seed, intensity=args.faults
+        )
+    cache = _make_cache(args)
+    capturing = _open_events(args)
+    scenario = api.build_scenario(
+        jobs=args.jobs, testbed=args.testbed, seed=args.seed
+    )
+
+    async def _serve():
+        updates = []
+
+        async def _consume(svc):
+            async for update in svc.placements():
+                updates.append(update)
+                if args.show_placements and len(updates) <= args.show_placements:
+                    opp = " (opportunistic)" if update.opportunistic else ""
+                    print(
+                        f"  slot {update.slot:>4}  job {update.job_id:>5}"
+                        f" -> vm {update.vm_id}{opp}"
+                    )
+
+        async with api.open_service(
+            scenario=scenario,
+            method=args.method,
+            fault_plan=fault_plan,
+            predictor_cache=cache,
+        ) as svc:
+            consumer = asyncio.ensure_future(_consume(svc))
+            n = await svc.submit_trace(scenario.evaluation_trace())
+            print(
+                f"{args.method} service up on the {args.testbed} profile; "
+                f"{n} job(s) submitted, draining..."
+            )
+            result = await svc.drain()
+            await consumer
+        return n, updates, result
+
+    try:
+        n_submitted, updates, result = asyncio.run(_serve())
+    finally:
+        if capturing:
+            api.detach_sink()
+
+    summary = result.summary()
+    rows = [
+        [
+            args.method,
+            summary["overall_utilization"],
+            summary["slo_violation_rate"],
+            summary.get("prediction_error_rate", float("nan")),
+            summary["allocation_latency_s"],
+        ]
+    ]
+    print(
+        format_table(
+            ["method", "utilization", "slo_rate", "err_rate", "latency_s"],
+            rows,
+            title=f"service drain: {n_submitted} job(s) submitted, "
+                  f"{len(updates)} placement update(s) streamed",
+        )
+    )
+    if cache.store is not None:
+        _print_cache_stats(cache.stats())
+    if capturing:
+        print(f"\nwrote events to {args.events}")
+    _warn_truncated({args.method: result})
     return 0
 
 
@@ -598,6 +693,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_options(compare)
     compare.set_defaults(func=_cmd_compare)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the asyncio allocation service over a generated workload",
+    )
+    serve.add_argument("--jobs", type=int, default=50)
+    serve.add_argument("--testbed", choices=("cluster", "ec2"), default="cluster")
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--method", choices=api.METHOD_ORDER, default="CORP",
+        help="the scheduler the service runs (default: CORP)",
+    )
+    serve.add_argument(
+        "--show-placements", type=int, default=0, metavar="N",
+        help="echo the first N streamed placement updates",
+    )
+    serve.add_argument(
+        "--events", metavar="PATH", default=None,
+        help="stream structured decision events to a JSONL file",
+    )
+    serve.add_argument(
+        "--faults", nargs="?", const=0.3, type=float, default=None,
+        metavar="INTENSITY",
+        help="replay a seeded deterministic fault plan while jobs "
+             "stream in (bare flag = 0.3)",
+    )
+    serve.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the fault plan (independent of the workload seed)",
+    )
+    _add_cache_options(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     profile = sub.add_parser(
         "profile",

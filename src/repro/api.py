@@ -15,7 +15,12 @@ keyword-only entry points plus the observability attachments:
   per-stage timing table ``repro profile`` prints;
 * :func:`check_run` / :func:`replay` (v1.3) — a comparison run with the
   runtime invariant checker installed, and differential replay of a
-  captured event stream against a fresh live run.
+  captured event stream against a fresh live run;
+* :func:`open_service` / :func:`takeover_run` (v1.5) — the long-lived
+  asyncio allocation service over the event kernel (submit jobs live,
+  stream placements, ``drain()`` for the final result), and the
+  standby-takeover drill (a snapshot-restored kernel must finish the
+  run identically to the live one).
 
 This facade is the **only supported import surface**: deeper imports
 (``repro.experiments.runner`` and friends) may break without notice
@@ -44,9 +49,11 @@ from .experiments.runner import (
 )
 from .experiments.scenarios import Scenario, cluster_scenario, ec2_scenario
 from .faults.plan import FaultPlan, RetryPolicy, build_fault_plan
+from .faults.takeover import TakeoverReport, takeover_run
 from .obs import OBS, Sink
 from .obs import attach_sink as _attach_sink
 from .obs import capture_events, detach_sink
+from .service.daemon import PlacementUpdate, SchedulerService, open_service
 
 __all__ = [
     "compare",
@@ -57,6 +64,11 @@ __all__ = [
     "replay",
     "inject",
     "build_fault_plan",
+    "open_service",
+    "takeover_run",
+    "PlacementUpdate",
+    "SchedulerService",
+    "TakeoverReport",
     "attach_sink",
     "detach_sink",
     "capture_events",

@@ -247,7 +247,15 @@ class InvariantChecker:
     def end_slot(
         self, sim: "ClusterSimulator", slot: int, n_submitted: int
     ) -> None:
-        """Job conservation + opportunistic-pool sanity, once per slot."""
+        """Job conservation + opportunistic-pool sanity, once per slot.
+
+        ``n_submitted`` counts jobs actually delivered to the system
+        (the kernel's submission counter), not the trace length — so the
+        accounting also holds on a *truncated* run (``max_slots`` hit
+        with arrivals never submitted): jobs still in flight sit in the
+        pending/running/backoff buckets, and never-submitted arrivals
+        are absent from both sides of the equation.
+        """
         if "jobs" in self.rules:
             self.checks["jobs"] += 1
             backlog = 0 if sim.faults is None else sim.faults.backlog_count()

@@ -1,9 +1,15 @@
 """Discrete-time-slot cluster simulator.
 
-Drives the slot loop of Section II: jobs arrive per slot, the scheduler
+Hosts the slot loop of Section II: jobs arrive per slot, the scheduler
 places them, VMs execute the slot (granting resources and advancing
 jobs), and the recorders accumulate utilization (Eq. 1-4), SLO outcomes
 and allocation latency.
+
+Since v1.5 the loop itself lives in the event-driven kernel
+(:mod:`repro.service.kernel`); :meth:`ClusterSimulator.run` is a thin
+batch driver that preloads the workload's arrivals as submission
+events and steps the kernel to completion — byte-identical to the old
+in-place loop (the golden-trace suite pins this).
 """
 
 from __future__ import annotations
@@ -11,20 +17,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
-import numpy as np
-
-from ..check import CHECK
-from ..obs import OBS
-from .job import Job, JobState
+from .job import Job
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a trace<->cluster import cycle
     from ..faults.injector import FaultInjector
     from ..faults.plan import FaultPlan
     from ..trace.records import Trace
-from .machine import PhysicalMachine, SlotOutcome, VirtualMachine
+from .machine import PhysicalMachine, VirtualMachine
 from .metrics import MetricsRecorder
 from .profiles import ClusterProfile
-from .resources import NUM_RESOURCES, ResourceVector
+from .resources import ResourceVector
 from .scheduler import Scheduler
 from .slo import SloSpec, SloTracker
 
@@ -73,6 +75,11 @@ class SimulationResult:
     #: had no fault plan, so fault-free summaries stay byte-identical to
     #: pre-fault-layer output.
     resilience: Optional[dict[str, float]] = None
+    #: True when the run stopped at ``max_slots`` with work still ahead
+    #: (queued/running/backlogged jobs or arrivals never submitted) —
+    #: such summaries cover an incomplete run and must not be read as a
+    #: completed one.
+    truncated: bool = False
 
     @property
     def all_done(self) -> bool:
@@ -98,6 +105,10 @@ class SimulationResult:
         if self.resilience is not None:
             out["n_failed"] = float(self.n_failed)
             out.update(self.resilience)
+        # Only surfaced when set, so completed-run summaries (and the
+        # golden traces) stay byte-identical to pre-v1.5 output.
+        if self.truncated:
+            out["truncated"] = 1.0
         return out
 
 
@@ -167,6 +178,11 @@ class ClusterSimulator:
     def run(self, trace: Trace, *, history: Trace | None = None) -> SimulationResult:
         """Replay ``trace`` and return the run's metrics.
 
+        A thin batch driver over the event kernel: the workload's
+        arrivals are preloaded as ``job-submitted`` events and the
+        kernel is stepped until the run finishes.  Summaries are
+        byte-identical to the pre-kernel in-place slot loop.
+
         Parameters
         ----------
         trace:
@@ -177,135 +193,11 @@ class ClusterSimulator:
             on "the historical resource usage data from the Google
             trace", i.e. the same distribution the evaluation replays.
         """
+        from ..service.kernel import SchedulerKernel
         from ..trace.workload import build_workload
 
-        cfg = self.config
-        workload = build_workload(trace, cfg.slot_duration_s)
+        workload = build_workload(trace, self.config.slot_duration_s)
         self.scheduler.prepare(history if history is not None else trace)
-        n_submitted = 0
-
-        slot = 0
-        while slot < cfg.max_slots:
-            # Stop once all arrivals happened (arrival slots are
-            # 0..n_slots-1) and either draining is off or nothing is
-            # left in flight (including jobs waiting out a retry
-            # backoff).  Checking *before* executing means a run never
-            # spends a guaranteed-empty trailing slot.
-            if slot >= workload.n_slots and (
-                not cfg.drain
-                or (
-                    not self.pending
-                    and not self.running
-                    and not (self.faults is not None and self.faults.has_backlog())
-                )
-            ):
-                break
-            self.current_slot = slot
-            # 0. faults due this slot (restores, evictions, outages)
-            if self.faults is not None:
-                self.faults.begin_slot(slot, self)
-            # 1. arrivals
-            for record in workload.arrivals_at(slot):
-                job = Job(record=record, submit_slot=slot)
-                n_submitted += 1
-                if self._admit(job):
-                    self.pending.append(job)
-                else:
-                    self.rejected.append(job)
-
-            # 2. scheduling (the timed decision path)
-            with self.scheduler.latency.measure():
-                self.scheduler.on_slot_start(slot)
-                placed = self.scheduler.place_jobs(tuple(self.pending), slot)
-            placed_ids = {j.job_id for j in placed}
-            if placed_ids:
-                self.pending = [j for j in self.pending if j.job_id not in placed_ids]
-                self.running.extend(placed)
-                if self.faults is not None:
-                    self.faults.note_placements(placed, slot)
-
-            # 3. execute the slot on every VM (accumulated as flat
-            # arrays — per-VM ResourceVector sums dominated this loop)
-            outcomes: dict[int, SlotOutcome] = {}
-            total_demand = np.zeros(NUM_RESOURCES)
-            total_committed = np.zeros(NUM_RESOURCES)
-            for vm in self.vms:
-                if not vm.online:
-                    continue
-                snapshot = (
-                    CHECK.checker.before_execute(vm) if CHECK.enabled else None
-                )
-                outcome = vm.execute_slot(slot)
-                if CHECK.enabled:
-                    CHECK.checker.after_execute(
-                        vm, slot, outcome, snapshot,
-                        scheduler=self.scheduler.name,
-                    )
-                outcomes[vm.vm_id] = outcome
-                total_demand += outcome.served_demand.as_array()
-                total_committed += outcome.committed.as_array()
-            self.metrics.record_arrays(total_demand, total_committed)
-
-            # 4. completions
-            for vm in self.vms:
-                for job in vm.remove_completed():
-                    self.slo_tracker.record(job)
-                    self.completed.append(job)
-            self.running = [j for j in self.running if j.state is JobState.RUNNING]
-
-            # 5. scheduler feedback
-            self.scheduler.on_slot_end(slot, outcomes)
-
-            if CHECK.enabled:
-                CHECK.checker.end_slot(self, slot, n_submitted)
-
-            if OBS.enabled:
-                w = self.metrics.weights
-                den = float(total_committed @ w)
-                util = (
-                    min(float(total_demand @ w) / den, 1.0)
-                    if den > 1e-12 else 0.0
-                )
-                OBS.emit(
-                    "slot",
-                    slot=slot,
-                    scheduler=self.scheduler.name,
-                    utilization=util,
-                    wastage=1.0 - util if den > 1e-12 else 0.0,
-                    queue_depth=len(self.pending),
-                    running=len(self.running),
-                    completed=len(self.completed),
-                    rejected=len(self.rejected),
-                )
-                OBS.count("sim.slots")
-
-            slot += 1
-
-        # An empty prediction log has no error rate (it is NaN, not a
-        # perfect 0.0) — report None so summaries omit the metric.
-        error_rate = None
-        if len(self.scheduler.prediction_log) > 0:
-            error_rate = self.scheduler.prediction_log.error_rate(
-                tolerance=getattr(self.scheduler, "error_tolerance", 0.75)
-            )
-            if np.isnan(error_rate):  # pragma: no cover - defensive
-                error_rate = None
-        jobs = self.completed + self.running + self.pending + self.rejected
-        resilience = None
-        if self.faults is not None:
-            jobs += self.failed + self.faults.backlog_jobs()
-            resilience = self.faults.result_stats(self)
-        return SimulationResult(
-            scheduler_name=self.scheduler.name,
-            metrics=self.metrics,
-            slo=self.slo_tracker,
-            n_slots=slot,
-            n_submitted=n_submitted,
-            n_completed=len(self.completed),
-            n_rejected=len(self.rejected),
-            allocation_latency_s=self.scheduler.latency.total_s,
-            prediction_error_rate=error_rate,
-            jobs=jobs,
-            n_failed=len(self.failed),
-            resilience=resilience,
-        )
+        kernel = SchedulerKernel.from_workload(self, workload)
+        kernel.run_until_blocked()
+        return kernel.result()

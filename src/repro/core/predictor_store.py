@@ -97,11 +97,13 @@ def fit_fingerprint(config: CorpConfig, history_digest: str) -> str:
 
 def default_store_dir() -> Path:
     """The on-disk cache root: ``$REPRO_CACHE_DIR`` or the XDG default."""
+    # expanduser(): a literal `~` in either env var would otherwise
+    # create a directory named "~" in the CWD.
     env = os.environ.get("REPRO_CACHE_DIR")
     if env:
-        return Path(env)
+        return Path(env).expanduser()
     xdg = os.environ.get("XDG_CACHE_HOME")
-    base = Path(xdg) if xdg else Path.home() / ".cache"
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
     return base / "repro-corp" / "predictors"
 
 

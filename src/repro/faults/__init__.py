@@ -10,9 +10,15 @@
 Build plans with :func:`build_fault_plan` (or hand-author event tuples)
 and pass them to ``repro.api`` entry points via ``fault_plan=`` or
 ``inject(scenario=..., plan=...)``.
+
+:mod:`~repro.faults.takeover` (v1.5) adds the mid-run scheduler
+takeover drill: a standby kernel restored from the live kernel's
+snapshot must finish the run with an identical summary
+(:func:`takeover_run`).
 """
 
 from .injector import FaultInjector
+from .takeover import TakeoverReport, takeover_run
 from .plan import (
     CapacityRevocation,
     FaultEvent,
@@ -32,6 +38,8 @@ __all__ = [
     "JobFailure",
     "PredictorOutage",
     "RetryPolicy",
+    "TakeoverReport",
     "VmCrash",
     "build_fault_plan",
+    "takeover_run",
 ]

@@ -83,12 +83,27 @@ class FaultInjector:
 
     # ------------------------------------------------------------------
     def begin_slot(self, slot: int, sim: "ClusterSimulator") -> None:
-        """Apply all fault-plan effects due at the top of ``slot``."""
+        """Apply all fault-plan effects due at the top of ``slot``.
+
+        Kept as the one-call form; the event kernel drives the two
+        phases separately (``vm-restored`` then ``fault-due`` events)
+        in exactly this order.
+        """
+        self.restore_phase(slot, sim)
+        self.fault_phase(slot, sim)
+
+    def restore_phase(self, slot: int, sim: "ClusterSimulator") -> None:
+        """Recovery phase: expired downtimes/revocations end, outages
+        clear, and backed-off jobs whose delay elapsed re-enter the
+        pending queue.  Always runs before :meth:`fault_phase`."""
         self._restore_due(slot, sim)
         if not self.predictor_available and slot >= self._outage_until:
             self.predictor_available = True
             OBS.emit("predictor_outage", slot=slot, active=False)
         self._release_backoff(slot, sim)
+
+    def fault_phase(self, slot: int, sim: "ClusterSimulator") -> None:
+        """Apply the plan's events due at ``slot`` and sweep give-ups."""
         for event in self._events_by_slot.get(slot, ()):
             if isinstance(event, VmCrash):
                 self._apply_crash(event, slot, sim)

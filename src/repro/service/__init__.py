@@ -1,0 +1,36 @@
+"""Event-driven scheduler service ("CORP-as-a-daemon").
+
+Two layers over the same machinery:
+
+* :mod:`repro.service.kernel` — the event-driven scheduler kernel: an
+  explicit event queue (job-submitted, slot-tick, fault-due,
+  vm-restored) consumed one event at a time by
+  :meth:`~repro.service.kernel.SchedulerKernel.advance`.  The batch
+  :meth:`repro.cluster.simulator.ClusterSimulator.run` is a thin driver
+  over this kernel, so batch summaries (and the golden traces) are
+  byte-identical to the pre-kernel slot loop.
+* :mod:`repro.service.daemon` — a long-lived asyncio allocation service
+  over a streaming kernel: jobs are submitted while the system runs,
+  placement decisions stream out to subscribers, and ``drain()`` closes
+  the lifecycle with a full :class:`~repro.cluster.simulator.SimulationResult`.
+  The PR-5 predictor store/cache is the shared warm state across
+  service instances.
+
+The kernel also supports :meth:`~repro.service.kernel.SchedulerKernel.snapshot`
+/ :meth:`~repro.service.kernel.KernelSnapshot.restore`, which is what
+the standby-takeover fault drill (:mod:`repro.faults.takeover`) builds
+on.
+"""
+
+from .daemon import PlacementUpdate, SchedulerService, open_service
+from .kernel import EventKind, KernelEvent, KernelSnapshot, SchedulerKernel
+
+__all__ = [
+    "EventKind",
+    "KernelEvent",
+    "KernelSnapshot",
+    "SchedulerKernel",
+    "PlacementUpdate",
+    "SchedulerService",
+    "open_service",
+]

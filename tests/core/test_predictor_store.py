@@ -2,6 +2,7 @@
 
 import dataclasses
 import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -173,6 +174,20 @@ class TestHousekeeping:
     def test_default_dir_honours_env(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envdir"))
         assert default_store_dir() == tmp_path / "envdir"
+
+    def test_default_dir_expands_tilde(self, monkeypatch):
+        # A literal `~` must resolve to $HOME, not a CWD dir named "~".
+        monkeypatch.setenv("REPRO_CACHE_DIR", "~/repro-cache")
+        resolved = default_store_dir()
+        assert resolved == Path.home() / "repro-cache"
+        assert "~" not in str(resolved)
+
+    def test_default_dir_expands_xdg_tilde(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", "~/xdg-cache")
+        resolved = default_store_dir()
+        assert resolved == Path.home() / "xdg-cache" / "repro-corp" / "predictors"
+        assert "~" not in str(resolved)
 
     def test_unfitted_save_rejected(self, store, fast_corp_config):
         with pytest.raises(ValueError):

@@ -1,0 +1,1 @@
+"""Tests for the event-driven kernel, the asyncio daemon and takeover."""
