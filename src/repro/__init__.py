@@ -115,7 +115,7 @@ from .check import CheckReport, InvariantChecker, ReplayReport, Violation
 from .faults import FaultPlan, RetryPolicy, TakeoverReport
 from .service import PlacementUpdate, SchedulerKernel, SchedulerService
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "CloudScaleScheduler",

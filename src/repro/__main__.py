@@ -22,13 +22,18 @@ Commands
                 the artifact inventory, ``clear`` deletes it, ``warm``
                 pre-fits a scenario's predictor into it so later runs
                 skip the offline DNN/HMM fit entirely.
+``predictors``— list the registered predictor families the
+                ``--predictor`` flag accepts.
 
 ``compare`` and ``profile`` accept ``--store [DIR]`` (reuse fitted
 predictors across processes via the on-disk store), ``--warm-start``
 (seed unavoidable refits from the nearest stored artifact; changes
 fitted weights, so opt-in), ``--fit-workers N`` (fan the per-resource
 fits across processes, bit-identical to serial), and
-``--predictor-cache-size N`` (in-memory LRU bound).
+``--predictor-cache-size N`` (in-memory LRU bound).  ``compare``,
+``profile`` and ``serve`` accept ``--predictor NAME`` to run CORP on a
+different registered forecasting family (``corp``, ``quantile``,
+``classify``, ``ets``, ``markov`` or ``auto``).
 
 Experiment execution routes exclusively through :mod:`repro.api`; pass
 ``--events out.jsonl`` to stream structured decision events (slots,
@@ -38,6 +43,8 @@ file.
 Examples::
 
     python -m repro compare --jobs 200 --workers 4
+    python -m repro compare --quick --predictor quantile
+    python -m repro predictors
     python -m repro compare --jobs 50 --events /tmp/ev.jsonl
     python -m repro compare --faults 0.5 --quick
     python -m repro profile --jobs 50
@@ -142,6 +149,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             workers=args.workers,
             fault_plan=fault_plan,
             predictor_cache=cache,
+            predictor=args.predictor,
         )
     finally:
         if capturing:
@@ -244,6 +252,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             method=args.method,
             fault_plan=fault_plan,
             predictor_cache=cache,
+            predictor=args.predictor,
         ) as svc:
             consumer = asyncio.ensure_future(_consume(svc))
             n = await svc.submit_trace(scenario.evaluation_trace())
@@ -293,7 +302,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     try:
         report = api.profile_run(
             jobs=args.jobs, testbed=args.testbed, seed=args.seed,
-            predictor_cache=cache,
+            predictor_cache=cache, predictor=args.predictor,
         )
     finally:
         if capturing:
@@ -397,8 +406,32 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_ablations(args: argparse.Namespace) -> int:
-    from .experiments.ablations import run_ablations
+    from .experiments.ablations import run_ablations, run_predictor_ablation
 
+    if args.predictors:
+        results = run_predictor_ablation(n_jobs=args.jobs, seed=args.seed)
+        rows = [
+            [
+                name,
+                s["overall_utilization"],
+                s["slo_violation_rate"],
+                s.get("prediction_error_rate", 0.0),
+                int(s["riders"]),
+                int(s["switches"]) if "switches" in s else "-",
+            ]
+            for name, s in results.items()
+        ]
+        print(
+            format_table(
+                [
+                    "predictor", "utilization", "slo_rate", "err_rate",
+                    "riders", "switches",
+                ],
+                rows,
+                title="CORP predictor ablation (all families, same workload)",
+            )
+        )
+        return 0
     results = run_ablations(n_jobs=args.jobs, seed=args.seed)
     rows = [
         [
@@ -623,6 +656,38 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_predictors(args: argparse.Namespace) -> int:
+    """List the registered predictor families ``--predictor`` accepts."""
+    rows = [
+        [name, summary]
+        for name, summary in api.predictor_summaries().items()
+    ]
+    print(
+        format_table(
+            ["predictor", "summary"],
+            rows,
+            title="registered predictor families (--predictor NAME)",
+        )
+    )
+    return 0
+
+
+def _add_predictor_option(parser: argparse.ArgumentParser) -> None:
+    """The ``--predictor`` flag shared by compare/profile/serve.
+
+    Free-form (not ``choices=``) so third-party registrations work; an
+    unknown name raises the registry's ValueError, which main() turns
+    into the usual one-line error + exit 2.
+    """
+    parser.add_argument(
+        "--predictor", default="corp", metavar="NAME",
+        help="registered forecasting family CORP runs on: corp "
+             "(DNN+HMM, default), quantile, classify, ets, markov, or "
+             "auto (online per-workload selection); see `repro "
+             "predictors`",
+    )
+
+
 def _add_cache_options(parser: argparse.ArgumentParser) -> None:
     """The predictor-cache flags shared by ``compare`` and ``profile``."""
     parser.add_argument(
@@ -692,6 +757,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap the job count at 30 (the CI smoke setting)",
     )
     _add_cache_options(compare)
+    _add_predictor_option(compare)
     compare.set_defaults(func=_cmd_compare)
 
     serve = sub.add_parser(
@@ -724,6 +790,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed of the fault plan (independent of the workload seed)",
     )
     _add_cache_options(serve)
+    _add_predictor_option(serve)
     serve.set_defaults(func=_cmd_serve)
 
     profile = sub.add_parser(
@@ -743,6 +810,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also stream decision events to a JSONL file",
     )
     _add_cache_options(profile)
+    _add_predictor_option(profile)
     profile.set_defaults(func=_cmd_profile)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
@@ -759,6 +827,11 @@ def build_parser() -> argparse.ArgumentParser:
     ablations = sub.add_parser("ablations", help="CORP component ablations")
     ablations.add_argument("--jobs", type=int, default=300)
     ablations.add_argument("--seed", type=int, default=7)
+    ablations.add_argument(
+        "--predictors", action="store_true",
+        help="ablate the forecasting family instead of the scheduler "
+             "components: one CORP run per registered predictor",
+    )
     ablations.set_defaults(func=_cmd_ablations)
 
     mixed = sub.add_parser("mixed", help="mixed short+long workload")
@@ -900,6 +973,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="(warm) cap the job count at 30 (matches compare --quick)",
     )
     cache.set_defaults(func=_cmd_cache)
+
+    predictors = sub.add_parser(
+        "predictors",
+        help="list the registered predictor families --predictor accepts",
+    )
+    predictors.set_defaults(func=_cmd_predictors)
     return parser
 
 

@@ -1,0 +1,117 @@
+"""Invariant-checked runs and differential replay.
+
+Internal module — import these through :mod:`repro.api`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from ..experiments.runner import METHOD_ORDER, PredictorCache
+from ..experiments.scenarios import Scenario
+from ..faults.plan import FaultPlan
+from ..forecast.base import Predictor
+from ..obs import OBS, detach_sink
+from ._run import attach_sink, compare
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..check import CheckReport, ReplayReport
+
+__all__ = ["check_run", "replay"]
+
+
+def check_run(
+    *,
+    scenario: Scenario | None = None,
+    jobs: int = 200,
+    testbed: str = "cluster",
+    seed: int = 7,
+    methods: Iterable[str] = METHOD_ORDER,
+    predictor_cache: PredictorCache | None = None,
+    predictor: "str | Predictor" = "corp",
+    fault_plan: FaultPlan | None = None,
+    rules: Iterable[str] | None = None,
+    tolerance: float = 1e-6,
+    differential: bool = False,
+    events: str | None = None,
+) -> "CheckReport":
+    """Run every method with the runtime invariant checker installed.
+
+    Same workload semantics as :func:`compare` (forced serial — checker
+    state is process-local), with the :mod:`repro.check` rules evaluated
+    at every decision point: capacity conservation, job conservation
+    under faults, Eq. 21 gate soundness, packing feasibility and Eq. 22
+    optimality.  ``differential=True`` adds the per-slot
+    reference-vs-vectorized execution diff; ``rules=`` selects an
+    explicit subset.  ``events=`` additionally captures the run's event
+    stream (with the ``run_meta`` record :func:`replay` needs) to a
+    JSONL file.
+
+    The checker is read-only: the returned report's ``summaries`` are
+    byte-identical to what an unchecked :func:`compare` would produce
+    (modulo ``allocation_latency_s``, which is measured from the wall
+    clock and so differs between *any* two runs).
+    """
+    from ..check import CHECK, CheckReport, InvariantChecker
+
+    rule_set = tuple(rules) if rules is not None else None
+    if differential:
+        if rule_set is None:
+            from ..check import DEFAULT_RULES
+
+            rule_set = DEFAULT_RULES
+        if "differential" not in rule_set:
+            rule_set = rule_set + ("differential",)
+    checker = InvariantChecker(rules=rule_set, tolerance=tolerance)
+    attached = attach_sink(events) if events is not None else None
+    try:
+        with CHECK.session(checker):
+            results = compare(
+                scenario=scenario,
+                jobs=jobs,
+                testbed=testbed,
+                seed=seed,
+                methods=methods,
+                workers=0,
+                predictor_cache=predictor_cache,
+                predictor=predictor,
+                fault_plan=fault_plan,
+            )
+    finally:
+        if attached is not None and OBS.sink is attached:
+            detach_sink()
+    return CheckReport(
+        violations=list(checker.violations),
+        checks=dict(checker.checks),
+        n_violations=checker.n_violations,
+        summaries={m: r.summary() for m, r in results.items()},
+    )
+
+
+def replay(
+    *,
+    events: str,
+    methods: Iterable[str] | None = None,
+    tolerance: float = 1e-9,
+    max_mismatches: int = 100,
+) -> "ReplayReport":
+    """Differential replay: re-run a capture and diff the event streams.
+
+    ``events`` must be a JSONL capture with a ``run_meta`` record (any
+    v1.3+ capture from :func:`compare` or :func:`check_run` taken while
+    a sink was attached).  The scenario is rebuilt from that record —
+    including the fault plan and the predictor family — run live into
+    an in-memory sink, and the per-slot state (``slot`` events) plus
+    every placement decision is compared record-by-record.  The
+    simulator is deterministic, so a clean replay reproduces the
+    capture exactly; the report pinpoints the first diverging
+    slot/field otherwise.
+    """
+    from ..check.replay import replay_events
+
+    return replay_events(
+        events=events,
+        methods=methods,
+        tolerance=tolerance,
+        max_mismatches=max_mismatches,
+    )

@@ -1,0 +1,20 @@
+"""Fault-plan helpers of the facade.
+
+Internal module — import these through :mod:`repro.api`.
+"""
+
+from __future__ import annotations
+
+from ..experiments.scenarios import Scenario
+from ..faults.plan import FaultPlan
+
+__all__ = ["inject"]
+
+
+def inject(*, scenario: Scenario, plan: FaultPlan | None) -> Scenario:
+    """A copy of ``scenario`` replaying ``plan`` (``None`` removes one).
+
+    The returned scenario runs the same workload under the plan's fault
+    schedule; the original is untouched (scenarios are immutable).
+    """
+    return scenario.with_fault_plan(plan)

@@ -1,44 +1,15 @@
-"""The stable public API facade.
+"""Batch entry points: ``run_one`` / ``compare`` / ``sweep`` / ``profile_run``.
 
-Everything a consumer of the reproduction needs sits behind typed,
-keyword-only entry points plus the observability attachments:
-
-* :func:`run_one` — one (scenario, method) run → :class:`SimulationResult`;
-* :func:`compare` — all methods on one workload → ``method → result``;
-* :func:`sweep` — scenarios × methods, optionally process-parallel;
-* :func:`build_fault_plan` / :func:`inject` — seeded deterministic
-  fault schedules and their attachment to scenarios (``fault_plan=`` on
-  the entry points is the shorthand);
-* :func:`attach_sink` / :func:`detach_sink` / :func:`capture_events` —
-  stream structured decision events (JSONL or custom sinks);
-* :func:`profile_run` — a profiled comparison run returning the
-  per-stage timing table ``repro profile`` prints;
-* :func:`check_run` / :func:`replay` (v1.3) — a comparison run with the
-  runtime invariant checker installed, and differential replay of a
-  captured event stream against a fresh live run;
-* :func:`open_service` / :func:`takeover_run` (v1.5) — the long-lived
-  asyncio allocation service over the event kernel (submit jobs live,
-  stream placements, ``drain()`` for the final result), and the
-  standby-takeover drill (a snapshot-restored kernel must finish the
-  run identically to the live one).
-
-This facade is the **only supported import surface**: deeper imports
-(``repro.experiments.runner`` and friends) may break without notice
-between releases, while the signatures here are the ones the
-deprecation policy protects.
+Internal module — import these through :mod:`repro.api`.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import Iterable, Sequence
 
-if TYPE_CHECKING:  # pragma: no cover - type-only imports
-    from .check import CheckReport, ReplayReport
-
-from .cluster.simulator import SimulationResult
-from .core.config import CorpConfig
-from .core.predictor_store import PredictorStore, default_store_dir
-from .experiments.runner import (
+from ..cluster.simulator import SimulationResult
+from ..core.config import CorpConfig
+from ..experiments.runner import (
     METHOD_ORDER,
     PredictorCache,
     default_schedulers,
@@ -47,40 +18,20 @@ from .experiments.runner import (
     run_specs,
     sweep_specs,
 )
-from .experiments.scenarios import Scenario, cluster_scenario, ec2_scenario
-from .faults.plan import FaultPlan, RetryPolicy, build_fault_plan
-from .faults.takeover import TakeoverReport, takeover_run
-from .obs import OBS, Sink
-from .obs import attach_sink as _attach_sink
-from .obs import capture_events, detach_sink
-from .service.daemon import PlacementUpdate, SchedulerService, open_service
+from ..experiments.scenarios import Scenario, cluster_scenario, ec2_scenario
+from ..faults.plan import FaultPlan
+from ..forecast.base import Predictor
+from ..obs import OBS, Sink
+from ..obs import attach_sink as _attach_sink
+from ..obs import detach_sink
 
 __all__ = [
+    "attach_sink",
+    "build_scenario",
+    "run_one",
     "compare",
     "sweep",
-    "run_one",
     "profile_run",
-    "check_run",
-    "replay",
-    "inject",
-    "build_fault_plan",
-    "open_service",
-    "takeover_run",
-    "PlacementUpdate",
-    "SchedulerService",
-    "TakeoverReport",
-    "attach_sink",
-    "detach_sink",
-    "capture_events",
-    "build_scenario",
-    "FaultPlan",
-    "RetryPolicy",
-    "PredictorCache",
-    "PredictorStore",
-    "default_store_dir",
-    "Scenario",
-    "SimulationResult",
-    "METHOD_ORDER",
 ]
 
 
@@ -111,15 +62,6 @@ def build_scenario(
     return builder(jobs, seed=seed)
 
 
-def inject(*, scenario: Scenario, plan: FaultPlan | None) -> Scenario:
-    """A copy of ``scenario`` replaying ``plan`` (``None`` removes one).
-
-    The returned scenario runs the same workload under the plan's fault
-    schedule; the original is untouched (scenarios are immutable).
-    """
-    return scenario.with_fault_plan(plan)
-
-
 def _apply_fault_plan(
     scenario: Scenario, fault_plan: FaultPlan | None
 ) -> Scenario:
@@ -127,6 +69,25 @@ def _apply_fault_plan(
     if fault_plan is None:
         return scenario
     return scenario.with_fault_plan(fault_plan)
+
+
+def _predictor_name(predictor: "str | Predictor") -> str:
+    """The registry-name form of a ``predictor=`` argument (for specs/meta)."""
+    if isinstance(predictor, str):
+        return predictor
+    return predictor.family
+
+
+def _require_named_predictor(
+    predictor: "str | Predictor", workers: int
+) -> None:
+    """Instances carry process-local state; parallel runs need names."""
+    if workers >= 2 and isinstance(predictor, Predictor):
+        raise ValueError(
+            "workers >= 2 with a predictor instance: fitted predictors "
+            "cannot cross process boundaries. Pass the registry name "
+            f"(e.g. predictor={predictor.family!r}) or run with workers=0."
+        )
 
 
 def _parallel_events_path(workers: int) -> str | None:
@@ -140,7 +101,7 @@ def _parallel_events_path(workers: int) -> str | None:
     """
     if workers < 2:
         return None
-    from .check import CHECK
+    from ..check import CHECK
 
     if CHECK.enabled:
         raise ValueError(
@@ -175,6 +136,7 @@ def _emit_run_meta(
     testbed: str | None,
     seed: int | None,
     replayable: bool,
+    predictor: str = "corp",
 ) -> None:
     """Stamp an attached capture with the parameters replay needs.
 
@@ -188,7 +150,7 @@ def _emit_run_meta(
         return
     from dataclasses import asdict
 
-    from . import __version__
+    from .. import __version__
 
     plan = scenario.fault_plan
     plan_payload = None
@@ -203,6 +165,7 @@ def _emit_run_meta(
         seed=seed,
         scenario=scenario.name,
         methods=list(methods),
+        predictor=predictor,
         fault_plan=plan_payload,
     )
 
@@ -214,9 +177,16 @@ def run_one(
     seed: int = 0,
     corp_config: CorpConfig | None = None,
     predictor_cache: PredictorCache | None = None,
+    predictor: "str | Predictor" = "corp",
     fault_plan: FaultPlan | None = None,
 ) -> SimulationResult:
-    """Run one method on one scenario (optionally under a fault plan)."""
+    """Run one method on one scenario (optionally under a fault plan).
+
+    ``predictor=`` names the registered forecasting family CORP runs on
+    (or passes a prebuilt :class:`~repro.forecast.base.Predictor`
+    instance); baselines ignore it.  Unknown names raise
+    :class:`ValueError` listing the registry.
+    """
     if method not in METHOD_ORDER:
         raise ValueError(
             f"unknown method {method!r} (expected one of {METHOD_ORDER})"
@@ -230,6 +200,7 @@ def run_one(
         history=history,
         predictor_cache=predictor_cache,
         seed=seed,
+        predictor=predictor,
     )
     return run_scenario(
         scenario, factories[method](), trace=trace, history=history
@@ -245,14 +216,17 @@ def compare(
     methods: Iterable[str] = METHOD_ORDER,
     workers: int = 0,
     predictor_cache: PredictorCache | None = None,
+    predictor: "str | Predictor" = "corp",
     fault_plan: FaultPlan | None = None,
 ) -> dict[str, SimulationResult]:
     """Run every method on the same workload; ``method → result``.
 
     Pass either a prebuilt ``scenario`` or the (``jobs``, ``testbed``,
     ``seed``) triple to build one; ``fault_plan=`` replays a fault
-    schedule against every method.  ``workers >= 2`` fans the methods
-    over worker processes — results are bit-identical to serial.  With a
+    schedule against every method and ``predictor=`` selects CORP's
+    forecasting family.  ``workers >= 2`` fans the methods over worker
+    processes — results are bit-identical to serial, and the predictor
+    must then be a registry name (instances are process-local).  With a
     path-backed JSONL sink attached, each worker records its events to a
     shard merged (in method order) on join; in-memory sinks and
     profiling cannot cross processes and raise :class:`ValueError`.
@@ -269,10 +243,17 @@ def compare(
         testbed=testbed if built_here else None,
         seed=seed if built_here else None,
         replayable=built_here,
+        predictor=_predictor_name(predictor),
     )
     if workers >= 2:
+        _require_named_predictor(predictor, workers)
         events_path = _parallel_events_path(workers)
-        specs = sweep_specs(scenarios=[scenario], methods=methods, seed=seed)
+        specs = sweep_specs(
+            scenarios=[scenario],
+            methods=methods,
+            seed=seed,
+            predictor=predictor,
+        )
         by_spec = run_specs(
             specs=specs,
             workers=workers,
@@ -285,6 +266,7 @@ def compare(
         methods=methods,
         predictor_cache=predictor_cache,
         seed=seed,
+        predictor=predictor,
     )
 
 
@@ -296,6 +278,7 @@ def sweep(
     corp_config: CorpConfig | None = None,
     workers: int = 0,
     predictor_cache: PredictorCache | None = None,
+    predictor: "str | Predictor" = "corp",
     fault_plan: FaultPlan | None = None,
 ) -> list[SimulationResult]:
     """Scenarios × methods, in sweep order (scenario-major).
@@ -303,14 +286,44 @@ def sweep(
     The list aligns with ``sweep_specs(scenarios=...)``.  A
     ``fault_plan=`` here applies the same schedule to *every* scenario
     (build per-scenario plans with :func:`inject` for anything finer,
-    e.g. a fault-intensity sweep).  Parallel observability follows
+    e.g. a fault-intensity sweep); ``predictor=`` selects CORP's
+    forecasting family for every run.  Parallel observability follows
     :func:`compare`'s rules: path-backed JSONL sinks shard per worker
     and merge on join; other recording modes raise :class:`ValueError`
-    with ``workers >= 2``.
+    with ``workers >= 2`` — as does a predictor *instance*, which
+    cannot cross process boundaries.
     """
     scenarios = [_apply_fault_plan(s, fault_plan) for s in scenarios]
+    _require_named_predictor(predictor, workers)
+    if isinstance(predictor, Predictor):
+        # One shared instance across every run: execute the same
+        # scenario-major order inline (specs carry names, not objects).
+        methods = tuple(methods)
+        results: list[SimulationResult] = []
+        for scn in scenarios:
+            with OBS.span("trace:generate"):
+                trace = scn.evaluation_trace()
+                history = scn.history_trace()
+            factories = default_schedulers(
+                corp_config=corp_config,
+                history=history,
+                predictor_cache=predictor_cache,
+                seed=seed,
+                predictor=predictor,
+            )
+            for method in methods:
+                results.append(
+                    run_scenario(
+                        scn, factories[method](), trace=trace, history=history
+                    )
+                )
+        return results
     specs = sweep_specs(
-        scenarios=scenarios, methods=methods, seed=seed, corp_config=corp_config
+        scenarios=scenarios,
+        methods=methods,
+        seed=seed,
+        corp_config=corp_config,
+        predictor=predictor,
     )
     events_path = _parallel_events_path(workers)
     return run_specs(
@@ -329,6 +342,8 @@ def profile_run(
     methods: Iterable[str] = METHOD_ORDER,
     predictor_cache: PredictorCache | None = None,
     predictor_cache_size: int = 16,
+    predictor: "str | Predictor" = "corp",
+    events: str | None = None,
 ) -> dict:
     """Run a profiled comparison and return the per-stage report.
 
@@ -346,9 +361,12 @@ def profile_run(
     ``predictor_cache=`` profiles against a caller-configured cache
     (e.g. one with a :class:`PredictorStore` attached); otherwise a
     fresh in-memory cache of ``predictor_cache_size`` entries is used.
-    The caller keeps any already-attached event sink; profiling state
-    and previously recorded counters/timers are reset first so the
-    report covers exactly this run.
+    ``events=`` additionally captures the run's event stream to a JSONL
+    file for the duration of the profile — the sink is always detached
+    on the way out, even when the run raises.  Without ``events=`` the
+    caller keeps any already-attached sink; profiling state and
+    previously recorded counters/timers are reset first so the report
+    covers exactly this run.
     """
     cache = (
         predictor_cache
@@ -357,14 +375,17 @@ def profile_run(
     )
     OBS.counters.reset()
     OBS.timers.reset()
+    attached = attach_sink(events) if events is not None else None
     OBS.enable_profiling()
     try:
         results = compare(
             jobs=jobs, testbed=testbed, seed=seed, methods=methods,
-            workers=0, predictor_cache=cache,
+            workers=0, predictor_cache=cache, predictor=predictor,
         )
     finally:
         OBS.disable_profiling()
+        if attached is not None and OBS.sink is attached:
+            detach_sink()
     stats = OBS.timers.snapshot()
     total = sum(s.total_s for s in stats)
     stages = [
@@ -382,103 +403,10 @@ def profile_run(
         "jobs": jobs,
         "testbed": testbed,
         "seed": seed,
+        "predictor": _predictor_name(predictor),
         "stages": stages,
         "counters": OBS.counters.snapshot(),
         "summaries": {m: r.summary() for m, r in results.items()},
         "predictor_cache": cache.stats(),
         "total_s": round(total, 6),
     }
-
-
-def check_run(
-    *,
-    scenario: Scenario | None = None,
-    jobs: int = 200,
-    testbed: str = "cluster",
-    seed: int = 7,
-    methods: Iterable[str] = METHOD_ORDER,
-    predictor_cache: PredictorCache | None = None,
-    fault_plan: FaultPlan | None = None,
-    rules: Iterable[str] | None = None,
-    tolerance: float = 1e-6,
-    differential: bool = False,
-    events: str | None = None,
-) -> "CheckReport":
-    """Run every method with the runtime invariant checker installed.
-
-    Same workload semantics as :func:`compare` (forced serial — checker
-    state is process-local), with the :mod:`repro.check` rules evaluated
-    at every decision point: capacity conservation, job conservation
-    under faults, Eq. 21 gate soundness, packing feasibility and Eq. 22
-    optimality.  ``differential=True`` adds the per-slot
-    reference-vs-vectorized execution diff; ``rules=`` selects an
-    explicit subset.  ``events=`` additionally captures the run's event
-    stream (with the ``run_meta`` record :func:`replay` needs) to a
-    JSONL file.
-
-    The checker is read-only: the returned report's ``summaries`` are
-    byte-identical to what an unchecked :func:`compare` would produce
-    (modulo ``allocation_latency_s``, which is measured from the wall
-    clock and so differs between *any* two runs).
-    """
-    from .check import CHECK, CheckReport, InvariantChecker
-
-    rule_set = tuple(rules) if rules is not None else None
-    if differential:
-        if rule_set is None:
-            from .check import DEFAULT_RULES
-
-            rule_set = DEFAULT_RULES
-        if "differential" not in rule_set:
-            rule_set = rule_set + ("differential",)
-    checker = InvariantChecker(rules=rule_set, tolerance=tolerance)
-    attached = attach_sink(events) if events is not None else None
-    try:
-        with CHECK.session(checker):
-            results = compare(
-                scenario=scenario,
-                jobs=jobs,
-                testbed=testbed,
-                seed=seed,
-                methods=methods,
-                workers=0,
-                predictor_cache=predictor_cache,
-                fault_plan=fault_plan,
-            )
-    finally:
-        if attached is not None and OBS.sink is attached:
-            detach_sink()
-    return CheckReport(
-        violations=list(checker.violations),
-        checks=dict(checker.checks),
-        n_violations=checker.n_violations,
-        summaries={m: r.summary() for m, r in results.items()},
-    )
-
-
-def replay(
-    *,
-    events: str,
-    methods: Iterable[str] | None = None,
-    tolerance: float = 1e-9,
-    max_mismatches: int = 100,
-) -> "ReplayReport":
-    """Differential replay: re-run a capture and diff the event streams.
-
-    ``events`` must be a JSONL capture with a ``run_meta`` record (any
-    v1.3+ capture from :func:`compare` or :func:`check_run` taken while
-    a sink was attached).  The scenario is rebuilt from that record —
-    including the fault plan — run live into an in-memory sink, and the
-    per-slot state (``slot`` events) plus every placement decision is
-    compared record-by-record.  The simulator is deterministic, so a
-    clean replay reproduces the capture exactly; the report pinpoints
-    the first diverging slot/field otherwise.
-    """
-    from .check.replay import replay_events
-
-    return replay_events(
-        events=events,
-        methods=methods,
-        tolerance=tolerance,
-        max_mismatches=max_mismatches,
-    )

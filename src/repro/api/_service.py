@@ -1,0 +1,20 @@
+"""Service-mode and takeover-drill surface of the facade.
+
+Internal module — import these through :mod:`repro.api`.  The
+implementations live in :mod:`repro.service.daemon` and
+:mod:`repro.faults.takeover`; this module pins which of their names the
+facade re-exports.
+"""
+
+from __future__ import annotations
+
+from ..faults.takeover import TakeoverReport, takeover_run
+from ..service.daemon import PlacementUpdate, SchedulerService, open_service
+
+__all__ = [
+    "open_service",
+    "takeover_run",
+    "PlacementUpdate",
+    "SchedulerService",
+    "TakeoverReport",
+]

@@ -206,6 +206,7 @@ def replay_events(
             seed=int(meta["seed"]),
             methods=chosen,
             workers=0,
+            predictor=str(meta.get("predictor", "corp")),
             fault_plan=_rebuild_fault_plan(meta),
         )
     # Sanitize the live events exactly the way JsonlSink would have

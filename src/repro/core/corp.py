@@ -30,6 +30,7 @@ from ..check import CHECK
 from ..cluster.job import Job
 from ..cluster.machine import VirtualMachine
 from ..cluster.resources import NUM_RESOURCES, ResourceKind, ResourceVector
+from ..forecast.base import Predictor
 from ..forecast.confidence import z_value
 from ..obs import OBS
 from ..trace.records import Trace
@@ -52,7 +53,7 @@ class CorpScheduler(ProvisioningSchedulerBase):
         self,
         config: CorpConfig | None = None,
         *,
-        predictor: CorpPredictor | None = None,
+        predictor: Predictor | None = None,
     ) -> None:
         self.config = config or CorpConfig()
         # Eq. 21's gate asks whether the conservative forecast delivers
@@ -72,15 +73,22 @@ class CorpScheduler(ProvisioningSchedulerBase):
             seed=self.config.seed,
         )
         #: A pre-fitted predictor may be injected to share the (offline)
-        #: DNN/HMM training across experiment runs.
+        #: DNN/HMM training across experiment runs.  Any registered
+        #: :class:`~repro.forecast.base.Predictor` family drops in here;
+        #: the DNN+HMM pipeline remains the default.
         self.predictor = predictor or CorpPredictor(config=self.config)
         self._z = z_value(self.config.confidence_level)
 
     # ------------------------------------------------------------------
     def prepare(self, history: Trace) -> None:
-        """Offline phase: fit the DNN/HMM and seed the error trackers."""
+        """Offline phase: fit the predictor and seed the error trackers."""
         if not self.predictor.fitted:
             self.predictor.fit(history)
+        elif "online_selection" in self.predictor.capabilities:
+            # A cached selector carries live arbitration state from a
+            # previous run; restore the post-fit baseline so every run
+            # starts from the same trackers and active predictor.
+            self.predictor.reset()
         theta_half = self.config.significance_level / 2.0
         for kind in range(NUM_RESOURCES):
             # Trackers hold commitment-fraction δ samples at VM
@@ -101,6 +109,24 @@ class CorpScheduler(ProvisioningSchedulerBase):
                 # quantile shift the runtime adjustment uses.
                 errors = errors - float(np.quantile(errors, theta_half))
             self.gate.trackers[kind].seed(errors)
+
+    # ------------------------------------------------------------------
+    def on_slot_start(self, slot: int) -> None:
+        """Give online-selecting predictors their slot tick first.
+
+        The ``"auto"`` selector arbitrates at window boundaries; running
+        :meth:`~repro.forecast.base.Predictor.observe_slot` *before* the
+        base class refreshes forecasts means a switch takes effect in
+        the same window's forecasts, not one window late.  Outage slots
+        are skipped — arbitration over windows the predictor never saw
+        would be noise.
+        """
+        if (
+            "online_selection" in self.predictor.capabilities
+            and not (self._sim is not None and not self.sim.predictor_available)
+        ):
+            self.predictor.observe_slot(slot)
+        super().on_slot_start(slot)
 
     # ------------------------------------------------------------------
     # forecasting hooks

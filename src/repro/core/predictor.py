@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..cluster.resources import NUM_RESOURCES, ResourceKind, ResourceVector
+from ..forecast.base import Predictor, window_samples
 from ..hmm.fluctuation import FluctuationPredictor
 from ..hmm.model import HiddenMarkovModel
 from ..obs import OBS
@@ -51,40 +52,22 @@ def build_training_set(
     absolute units).  Records shorter than ``input_slots + horizon``
     contribute nothing.
 
-    ``target`` selects what "the amount of temporarily-unused resource
-    in a time window" means:
-
-    * ``"window_min"`` (default) — the window's minimum unused fraction:
-      the amount guaranteed available across the whole window, i.e. the
-      safely *allocatable* amount.  Conservative by construction, which
-      is what lets the Eq. 21 gate (``Pr(0 ≤ δ < ε) ≥ P_th``) pass for
-      an accurate predictor.
-    * ``"window_mean"`` — the window's mean unused fraction.
-    * ``"point"`` — the unused fraction at exactly ``t + L``.
+    The sample loop itself lives in
+    :func:`repro.forecast.base.window_samples`, which every predictor
+    family shares — identical numerics across the zoo.  ``target``
+    selects what "the amount of temporarily-unused resource in a time
+    window" means (``"window_min"`` / ``"window_mean"`` / ``"point"``;
+    see :func:`~repro.forecast.base.window_samples`).
     """
-    if target not in ("window_min", "window_mean", "point"):
-        raise ValueError(f"unknown prediction target {target!r}")
     xs: list[np.ndarray] = []
     ys: list[float] = []
     reqs: list[float] = []
-    k = int(kind)
-    for record in trace:
-        util = record.utilization_series()[:, k]
-        n = util.size
-        span = input_slots + horizon
-        if n < span:
-            continue
-        for start in range(n - span + 1):
-            window = util[start + input_slots : start + span]
-            if target == "window_min":
-                y = 1.0 - float(window.max())
-            elif target == "window_mean":
-                y = 1.0 - float(window.mean())
-            else:
-                y = 1.0 - float(window[-1])
-            xs.append(util[start : start + input_slots])
-            ys.append(y)
-            reqs.append(record.requested[kind])
+    for window, y, request in window_samples(
+        trace, int(kind), input_slots, horizon, target=target
+    ):
+        xs.append(window)
+        ys.append(y)
+        reqs.append(request)
     if not xs:
         return (
             np.zeros((0, input_slots)),
@@ -185,8 +168,17 @@ def _fit_one_resource(task: _ResourceFitTask) -> _ResourceFitResult:
 
 
 @dataclass
-class CorpPredictor:
-    """Fit-once DNN + HMM predictor over all resource types."""
+class CorpPredictor(Predictor):
+    """Fit-once DNN + HMM predictor over all resource types.
+
+    Registered as family ``"corp"`` — the default implementation of the
+    :class:`~repro.forecast.base.Predictor` protocol.  Serialization
+    goes through :mod:`repro.core.persistence` (DNN weights, HMM
+    parameters), not the generic payload path.
+    """
+
+    family = "corp"
+    capabilities = frozenset({"serialize", "warm_start", "parallel_fit"})
 
     config: CorpConfig = field(default_factory=CorpConfig)
     networks: list[FeedForwardNetwork] = field(default_factory=list)
@@ -348,13 +340,3 @@ class CorpPredictor:
                     OBS.count("predictor.hmm_correction")
             out[kind] = np.clip(fraction, 0.0, 1.0) * request[ResourceKind(kind)]
         return ResourceVector(out)
-
-    # ------------------------------------------------------------------
-    def validation_rmse(self) -> np.ndarray:
-        """Per-resource RMSE of the seed errors, in request fractions."""
-        return np.array(
-            [
-                float(np.sqrt(np.mean(e**2))) if e.size else 0.0
-                for e in self.seed_errors
-            ]
-        )

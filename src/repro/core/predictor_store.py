@@ -78,16 +78,22 @@ FIT_FIELDS: tuple[str, ...] = (
 )
 
 
-def fit_fingerprint(config: CorpConfig, history_digest: str) -> str:
-    """Hex digest identifying one (config, history) fit.
+def fit_fingerprint(
+    config: CorpConfig, history_digest: str, family: str = "corp"
+) -> str:
+    """Hex digest identifying one (family, config, history) fit.
 
-    Covers the store and persistence format versions, the full
-    :data:`FIT_FIELDS` identity and the history trace's content digest —
-    everything that determines the bit pattern of a deterministic fit.
+    Covers the predictor family, the store and persistence format
+    versions, the full :data:`FIT_FIELDS` identity and the history
+    trace's content digest — everything that determines the bit pattern
+    of a deterministic fit.  The family is part of the key so artifacts
+    from different predictor implementations can never shadow each
+    other.
     """
     payload = {
         "store_version": STORE_VERSION,
         "format_version": _FORMAT_VERSION,
+        "family": family,
         "history_digest": history_digest,
         "config": {name: getattr(config, name) for name in FIT_FIELDS},
     }
@@ -131,27 +137,42 @@ class PredictorStore:
         return self.root / f"{fingerprint}.json"
 
     # ------------------------------------------------------------------
-    def load(self, config: CorpConfig, history_digest: str) -> "CorpPredictor | None":
-        """The stored predictor for (config, history), or None on miss.
+    def load(
+        self,
+        config: CorpConfig,
+        history_digest: str,
+        family: str = "corp",
+    ):
+        """The stored predictor for (family, config, history), or None.
 
-        The returned predictor carries the *requested* config object:
+        The CORP family round-trips through the legacy
+        :mod:`repro.core.persistence` archive; every other family
+        restores via its class's :meth:`Predictor.load_npz`.  A
+        returned CORP predictor carries the *requested* config object:
         the archive only serializes the fit-shaping fields, and the
         fingerprint guarantees those match, so adopting the caller's
         config restores the runtime knobs too.
         """
-        fingerprint = fit_fingerprint(config, history_digest)
+        fingerprint = fit_fingerprint(config, history_digest, family)
         path = self._npz_path(fingerprint)
         if not path.is_file():
             self.misses += 1
             OBS.count("predictor_store.miss")
             return None
         try:
-            predictor = load_predictor(path)
+            if family == "corp":
+                predictor = load_predictor(path)
+                predictor.config = config
+            else:
+                from ..forecast.registry import predictor_class
+
+                predictor = predictor_class(family).load_npz(
+                    path, config=config
+                )
         except Exception:  # corrupt / truncated / stale-format artifact
             self.misses += 1
             OBS.count("predictor_store.miss")
             return None
-        predictor.config = config
         self.hits += 1
         OBS.count("predictor_store.hit")
         return predictor
@@ -160,15 +181,19 @@ class PredictorStore:
         self,
         config: CorpConfig,
         history_digest: str,
-        predictor: "CorpPredictor",
+        predictor,
     ) -> Path:
         """Persist a fitted predictor; returns the artifact path.
 
-        Write-to-temp + atomic rename: concurrent writers of the same
-        key race harmlessly (identical content, last rename wins) and
-        readers never observe a partial file.
+        The family is taken from the predictor itself and keyed into
+        the fingerprint; CORP uses the legacy archive, every other
+        family its own :meth:`Predictor.save_npz` payload.  Write-to-
+        temp + atomic rename: concurrent writers of the same key race
+        harmlessly (identical content, last rename wins) and readers
+        never observe a partial file.
         """
-        fingerprint = fit_fingerprint(config, history_digest)
+        family = getattr(predictor, "family", "corp")
+        fingerprint = fit_fingerprint(config, history_digest, family)
         self.root.mkdir(parents=True, exist_ok=True)
         final = self._npz_path(fingerprint)
         fd, tmp = tempfile.mkstemp(
@@ -176,7 +201,10 @@ class PredictorStore:
         )
         os.close(fd)
         try:
-            save_predictor(predictor, tmp)
+            if family == "corp":
+                save_predictor(predictor, tmp)
+            else:
+                predictor.save_npz(tmp)
             os.replace(tmp, final)
         finally:
             if os.path.exists(tmp):  # pragma: no cover - failed save
@@ -184,6 +212,7 @@ class PredictorStore:
         meta = {
             "store_version": STORE_VERSION,
             "format_version": _FORMAT_VERSION,
+            "family": family,
             "fingerprint": fingerprint,
             "history_digest": history_digest,
             "config": {name: getattr(config, name) for name in FIT_FIELDS},
@@ -215,6 +244,10 @@ class PredictorStore:
         best: dict | None = None
         for meta in self.entries():
             if meta.get("store_version") != STORE_VERSION:
+                continue
+            # Warm starts are a DNN-weights concept; only the CORP
+            # family (legacy entries carry no family stamp) qualifies.
+            if meta.get("family", "corp") != "corp":
                 continue
             if meta.get("config") != wanted:
                 continue

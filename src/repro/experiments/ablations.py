@@ -14,9 +14,9 @@ from typing import Mapping
 from ..core.config import CorpConfig
 from ..core.corp import CorpScheduler
 from .runner import PredictorCache, run_scenario
-from .scenarios import cluster_scenario
+from .scenarios import cluster_scenario, ec2_scenario
 
-__all__ = ["ABLATIONS", "run_ablations"]
+__all__ = ["ABLATIONS", "run_ablations", "run_predictor_ablation"]
 
 #: Variant name → the config change it applies (DESIGN.md §5's A1-A5).
 ABLATIONS: Mapping[str, dict] = {
@@ -55,5 +55,43 @@ def run_ablations(
         result = run_scenario(scenario, scheduler, trace=trace, history=history)
         summary = result.summary()
         summary["riders"] = float(sum(1 for j in result.jobs if j.opportunistic))
+        out[name] = summary
+    return out
+
+
+def run_predictor_ablation(
+    *,
+    n_jobs: int = 300,
+    seed: int = 7,
+    testbed: str = "cluster",
+    cache: PredictorCache | None = None,
+    predictors: tuple[str, ...] | None = None,
+) -> dict[str, dict[str, float]]:
+    """One CORP run per registered predictor family, same workload.
+
+    The predictor-zoo counterpart of :func:`run_ablations`: the
+    scheduler, packing, CI and gate machinery stay at the paper's
+    defaults, and only the forecasting family behind ``predict_vm_unused``
+    changes.  Returns ``family → summary dict`` (plus ``riders`` and,
+    for ``"auto"``, ``switches`` — the selector's switch count).
+    """
+    from ..forecast.registry import available_predictors
+
+    cache = cache if cache is not None else PredictorCache()
+    names = predictors if predictors is not None else available_predictors()
+    builders = {"cluster": cluster_scenario, "ec2": ec2_scenario}
+    scenario = builders[testbed](n_jobs, seed=seed)
+    history = scenario.history_trace()
+    trace = scenario.evaluation_trace()
+    config = CorpConfig(seed=seed)
+    out: dict[str, dict[str, float]] = {}
+    for name in names:
+        predictor = cache.get(config, history, predictor=name)
+        scheduler = CorpScheduler(config, predictor=predictor)
+        result = run_scenario(scenario, scheduler, trace=trace, history=history)
+        summary = result.summary()
+        summary["riders"] = float(sum(1 for j in result.jobs if j.opportunistic))
+        if hasattr(predictor, "switch_log"):
+            summary["switches"] = float(len(predictor.switch_log))
         out[name] = summary
     return out

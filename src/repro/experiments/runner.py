@@ -25,8 +25,9 @@ from ..cluster.scheduler import Scheduler
 from ..cluster.simulator import ClusterSimulator, SimulationResult
 from ..core.config import CorpConfig
 from ..core.corp import CorpScheduler
-from ..core.predictor import CorpPredictor
 from ..core.predictor_store import PredictorStore, fit_fingerprint
+from ..forecast.base import Predictor
+from ..forecast.registry import create_predictor, predictor_class
 from ..obs import OBS
 from ..obs.events import Event, JsonlSink, read_jsonl
 from ..trace.records import Trace
@@ -51,15 +52,15 @@ SchedulerFactory = Callable[[], Scheduler]
 
 @dataclass
 class PredictorCache:
-    """LRU cache of fitted :class:`CorpPredictor` objects.
+    """LRU cache of fitted :class:`~repro.forecast.base.Predictor` objects.
 
-    Keyed by the CORP config's identity fields and the history trace's
-    *content* digest: sweeps regenerate the same seeded history trace at
-    every point, so keying on object identity (the original behaviour)
-    silently refit the DNN/HMM stack once per sweep point.  One offline
-    fit now serves every run that trains on identical data, which is
-    what the paper does — train once on the historical Google-trace
-    data, reuse the models.
+    Keyed by the predictor family, the CORP config's identity fields and
+    the history trace's *content* digest: sweeps regenerate the same
+    seeded history trace at every point, so keying on object identity
+    (the original behaviour) silently refit the DNN/HMM stack once per
+    sweep point.  One offline fit now serves every run that trains on
+    identical data, which is what the paper does — train once on the
+    historical Google-trace data, reuse the models.
 
     The cache is bounded (``maxsize`` entries, least-recently-used
     evicted first) so a long-lived process sweeping many distinct
@@ -77,7 +78,7 @@ class PredictorCache:
     processes (bit-identical to serial).
     """
 
-    _cache: "OrderedDict[str, CorpPredictor]" = field(
+    _cache: "OrderedDict[str, Predictor]" = field(
         default_factory=OrderedDict
     )
     #: Large enough to hold one fit per scenario of the full sweep (12)
@@ -109,39 +110,66 @@ class PredictorCache:
     def __len__(self) -> int:
         return len(self._cache)
 
-    def get(self, config: CorpConfig, history: Trace) -> CorpPredictor:
-        """Fitted predictor for (config, history), fitting once per key."""
+    def get(
+        self, config: CorpConfig, history: Trace, predictor: str = "corp"
+    ) -> Predictor:
+        """Fitted predictor for (family, config, history), fit once per key.
+
+        ``predictor`` is a registry family name; the fingerprint keys on
+        it, so artifacts from different families never collide.  Only
+        families advertising the ``"serialize"`` capability touch the
+        on-disk store; the ``"auto"`` selector fits its candidates
+        *through this cache*, so every candidate family shares artifacts
+        with plain single-family runs.
+        """
         digest = history.content_digest()
-        key = fit_fingerprint(config, digest)
-        predictor = self._cache.get(key)
-        if predictor is not None:
+        key = fit_fingerprint(config, digest, predictor)
+        cached = self._cache.get(key)
+        if cached is not None:
             self._cache.move_to_end(key)
             self.hits += 1
             OBS.count("predictor_cache.hit")
-            return predictor
+            return cached
         self.misses += 1
         OBS.count("predictor_cache.miss")
-        if self.store is not None:
-            predictor = self.store.load(config, digest)
-            if predictor is not None:
+        fresh = create_predictor(predictor, config)
+        serializable = "serialize" in fresh.capabilities
+        if self.store is not None and serializable:
+            loaded = self.store.load(config, digest, predictor)
+            if loaded is not None:
                 self.store_hits += 1
-                self._insert(key, predictor)
-                return predictor
+                self._insert(key, loaded)
+                return loaded
             self.store_misses += 1
-        donor = None
-        if self.warm_start and self.store is not None:
-            donor = self.store.nearest(config, exclude_digest=digest)
-        predictor = CorpPredictor(config=config).fit(
-            history, warm_start=donor, workers=self.fit_workers
-        )
-        if donor is not None:
-            self.warm_starts += 1
-        if self.store is not None:
-            self.store.save(config, digest, predictor)
-        self._insert(key, predictor)
-        return predictor
+        if "online_selection" in fresh.capabilities:
+            fresh.fit(
+                history,
+                fit_candidate=lambda name: self.get(
+                    config, history, predictor=name
+                ),
+            )
+        else:
+            donor = None
+            if (
+                self.warm_start
+                and self.store is not None
+                and "warm_start" in fresh.capabilities
+            ):
+                donor = self.store.nearest(config, exclude_digest=digest)
+            kwargs: dict = {}
+            if "warm_start" in fresh.capabilities:
+                kwargs["warm_start"] = donor
+            if "parallel_fit" in fresh.capabilities:
+                kwargs["workers"] = self.fit_workers
+            fresh.fit(history, **kwargs)
+            if donor is not None:
+                self.warm_starts += 1
+        if self.store is not None and serializable:
+            self.store.save(config, digest, fresh)
+        self._insert(key, fresh)
+        return fresh
 
-    def _insert(self, key: str, predictor: CorpPredictor) -> None:
+    def _insert(self, key: str, predictor: Predictor) -> None:
         self._cache[key] = predictor
         while len(self._cache) > self.maxsize:
             self._cache.popitem(last=False)
@@ -166,24 +194,36 @@ def default_schedulers(
     history: Trace | None = None,
     predictor_cache: PredictorCache | None = None,
     seed: int = 0,
+    predictor: "str | Predictor" = "corp",
 ) -> dict[str, SchedulerFactory]:
     """Factories for the four methods with the paper's default settings.
 
     Passing ``history`` (and optionally a ``predictor_cache``) pre-fits
     CORP's predictor so the expensive offline phase is shared across
-    runs.
+    runs.  ``predictor`` selects the family behind the CORP scheduler:
+    a registry name (cache-shared) or an already-constructed
+    :class:`~repro.forecast.base.Predictor` instance (cache-bypassing;
+    fitted here if needed).
     """
     cfg = corp_config or CorpConfig(seed=seed)
+    if isinstance(predictor, str):
+        predictor_class(predictor)  # unknown names fail at call time
 
     def make_corp() -> Scheduler:
         """CORP factory, reusing the cached offline fit when possible."""
-        predictor = None
+        if isinstance(predictor, Predictor):
+            if not predictor.fitted and history is not None:
+                predictor.fit(history)
+            return CorpScheduler(cfg, predictor=predictor)
+        fitted = None
         if history is not None:
             # `is None`, not truthiness: an empty cache is falsy (len 0)
             # but must still be filled and shared, not replaced.
             owner = predictor_cache if predictor_cache is not None else PredictorCache()
-            predictor = owner.get(cfg, history)
-        return CorpScheduler(cfg, predictor=predictor)
+            fitted = owner.get(cfg, history, predictor=predictor)
+        elif predictor != "corp":
+            fitted = create_predictor(predictor, cfg)
+        return CorpScheduler(cfg, predictor=fitted)
 
     return {
         "CORP": make_corp,
@@ -230,10 +270,13 @@ def run_methods(
     history: Trace | None = None,
     predictor_cache: PredictorCache | None = None,
     seed: int = 0,
+    predictor: "str | Predictor" = "corp",
 ) -> dict[str, SimulationResult]:
     """Run every requested method on the *same* evaluation trace.
 
     Keyword-only: ``run_methods(scenario=..., predictor_cache=...)``.
+    ``predictor`` names the family CORP forecasts with (baselines are
+    unaffected); only used when ``factories`` is not given.
     """
     with OBS.span("trace:generate"):
         eval_trace = scenario.evaluation_trace()
@@ -242,7 +285,10 @@ def run_methods(
         )
     if factories is None:
         factories = default_schedulers(
-            history=hist_trace, predictor_cache=predictor_cache, seed=seed
+            history=hist_trace,
+            predictor_cache=predictor_cache,
+            seed=seed,
+            predictor=predictor,
         )
     results: dict[str, SimulationResult] = {}
     for name in methods:
@@ -272,6 +318,9 @@ class RunSpec:
     seed: int = 0
     #: Optional CORP config override (defaults to ``CorpConfig(seed=seed)``).
     corp_config: CorpConfig | None = None
+    #: Registry family name CORP forecasts with (specs stay picklable,
+    #: so only names — not instances — travel here).
+    predictor: str = "corp"
 
 
 def sweep_specs(
@@ -280,6 +329,7 @@ def sweep_specs(
     methods: Iterable[str] = METHOD_ORDER,
     seed: int = 0,
     corp_config: CorpConfig | None = None,
+    predictor: str = "corp",
 ) -> list[RunSpec]:
     """The full cross product of scenarios × methods, in sweep order.
 
@@ -288,7 +338,11 @@ def sweep_specs(
     methods = tuple(methods)
     return [
         RunSpec(
-            scenario=scenario, method=method, seed=seed, corp_config=corp_config
+            scenario=scenario,
+            method=method,
+            seed=seed,
+            corp_config=corp_config,
+            predictor=predictor,
         )
         for scenario in scenarios
         for method in methods
@@ -313,6 +367,7 @@ def _execute_spec(
         history=hist,
         predictor_cache=cache,
         seed=spec.seed,
+        predictor=spec.predictor,
     )
     return run_scenario(
         spec.scenario, factories[spec.method](), trace=trace, history=hist
@@ -430,7 +485,7 @@ def run_specs(
         if key not in hist_by_scenario:
             hist_by_scenario[key] = spec.scenario.history_trace()
         cfg = spec.corp_config or CorpConfig(seed=spec.seed)
-        shared.get(cfg, hist_by_scenario[key])
+        shared.get(cfg, hist_by_scenario[key], predictor=spec.predictor)
 
     # Flush the parent's sink before the pool forks: an unflushed stdio
     # buffer is duplicated into every child, and each child's exit would

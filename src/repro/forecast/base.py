@@ -1,12 +1,55 @@
-"""Forecaster protocol shared by the baseline predictors."""
+"""Forecaster and Predictor protocols shared by the prediction stack.
+
+Two tiers live here:
+
+* :class:`Forecaster` — the original one-dimensional time-series
+  contract (fit a series, forecast ``h`` steps ahead) the baseline
+  predictors (ETS, Markov chain, FFT signature) implement.
+* :class:`Predictor` — the job-level contract the schedulers consume:
+  fit on a historical :class:`~repro.trace.records.Trace`, then map one
+  job's utilization history to its predicted *unused* resources
+  (Section III-A's granularity).  CORP's DNN+HMM pipeline, the
+  data-driven quantile predictor (Pace et al.), the classify-then-
+  predict router (Zhu & Fan) and the online selector all implement it,
+  which is what makes them interchangeable behind
+  :mod:`repro.forecast.registry` and the ``predictor=`` knob of the
+  public API.
+
+Capability flags (class attribute :attr:`Predictor.capabilities`)
+declare what the surrounding machinery may do with an implementation:
+
+``"serialize"``
+    :meth:`Predictor.to_payload` / :meth:`Predictor.from_payload` round
+    trip the fitted state, so the on-disk
+    :class:`~repro.core.predictor_store.PredictorStore` may persist it.
+``"warm_start"``
+    ``fit(..., warm_start=donor)`` seeds training from a previous fit.
+``"parallel_fit"``
+    ``fit(..., workers=N)`` fans independent sub-fits across processes.
+``"online_selection"``
+    :meth:`Predictor.observe_slot` carries live state (the scheduler
+    calls it at every slot boundary) and fitting may consult sibling
+    predictors; such predictors are never persisted.
+"""
 
 from __future__ import annotations
 
+import json
 from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
-__all__ = ["Forecaster"]
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..cluster.resources import ResourceVector
+    from ..trace.records import Trace
+
+__all__ = ["Forecaster", "Predictor", "window_samples"]
+
+#: Format stamp of the generic ``save_npz`` payload archives (bumped on
+#: incompatible layout changes; checked on load).
+PAYLOAD_VERSION = 1
 
 
 class Forecaster(ABC):
@@ -38,3 +81,212 @@ class Forecaster(ABC):
         if np.any(~np.isfinite(s)):
             raise ValueError("series contains non-finite values")
         return s
+
+
+def window_samples(
+    trace: "Trace",
+    kind: int,
+    input_slots: int,
+    horizon: int,
+    *,
+    target: str = "window_min",
+) -> Iterator[tuple[np.ndarray, float, float]]:
+    """Sliding-window supervised samples from a historical trace.
+
+    Yields ``(input_window, unused_fraction_target, request_amount)``
+    per sample for resource ``kind`` — the exact loop CORP's
+    ``build_training_set`` runs (Section III-A), shared here so every
+    predictor family trains and seeds its error statistics on identical
+    numerics.  ``target`` selects what "the amount of temporarily-unused
+    resource in a time window" means:
+
+    * ``"window_min"`` — the window's minimum unused fraction (the
+      safely *allocatable* amount, conservative by construction);
+    * ``"window_mean"`` — the window's mean unused fraction;
+    * ``"point"`` — the unused fraction at exactly ``t + L``.
+    """
+    if target not in ("window_min", "window_mean", "point"):
+        raise ValueError(f"unknown prediction target {target!r}")
+    k = int(kind)
+    span = input_slots + horizon
+    for record in trace:
+        util = record.utilization_series()[:, k]
+        n = util.size
+        if n < span:
+            continue
+        request = float(record.requested.as_array()[k])
+        for start in range(n - span + 1):
+            window = util[start + input_slots : start + span]
+            if target == "window_min":
+                y = 1.0 - float(window.max())
+            elif target == "window_mean":
+                y = 1.0 - float(window.mean())
+            else:
+                y = 1.0 - float(window[-1])
+            yield util[start : start + input_slots], y, request
+
+
+class Predictor(ABC):
+    """Job-level unused-resource predictor — the scheduler's contract.
+
+    Implementations fit once on a historical trace (the offline phase)
+    and then serve per-job forecasts: utilization history in, predicted
+    unused :class:`~repro.cluster.resources.ResourceVector` out.  Two
+    attributes feed the scheduler's error machinery and must be
+    populated by :meth:`fit`:
+
+    * :attr:`seed_errors` — per-resource held-out validation errors
+      (actual − predicted unused fraction of the request), the
+      "historical data with prediction error samples" Eq. 20/21 start
+      from;
+    * :attr:`prior_unused_fraction` — per-resource prior for jobs too
+      young to carry evidence.
+    """
+
+    #: Registry family name — part of every store fingerprint, so
+    #: artifacts from different families can never shadow each other.
+    family: str = "base"
+    #: What the surrounding machinery may do with this implementation
+    #: (see the module docstring for the flag meanings).
+    capabilities: frozenset[str] = frozenset()
+
+    #: Per-resource validation errors in request fractions.
+    seed_errors: list[np.ndarray]
+    #: Per-resource prior unused fraction of the training data.
+    prior_unused_fraction: np.ndarray
+
+    # ------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def fitted(self) -> bool:
+        """Whether :meth:`fit` has produced a servable model."""
+
+    @abstractmethod
+    def fit(self, history: "Trace", **kwargs: object) -> "Predictor":
+        """Offline phase: train on a historical trace; returns ``self``."""
+
+    @abstractmethod
+    def predict_job_unused(
+        self, util_history: np.ndarray, request: "ResourceVector"
+    ) -> "ResourceVector":
+        """Predicted unused amount of one job over the next window.
+
+        ``util_history`` is the job's per-slot utilization ``(n, l)`` in
+        fractions of its request; the return value is in absolute
+        amounts (fraction × request).
+        """
+
+    # ------------------------------------------------------------------
+    # shared error statistics
+    # ------------------------------------------------------------------
+    def validation_rmse(self) -> np.ndarray:
+        """Per-resource RMSE of the seed errors, in request fractions."""
+        return np.array(
+            [
+                float(np.sqrt(np.mean(e**2))) if e.size else 0.0
+                for e in self.seed_errors
+            ]
+        )
+
+    def error_quantile(self, kind: int, q: float) -> float:
+        """Empirical ``q``-quantile of resource ``kind``'s seed errors.
+
+        ``0.0`` when no validation errors exist (an evidence-free fit
+        contributes no shift).
+        """
+        errors = self.seed_errors[int(kind)]
+        if errors.size == 0:
+            return 0.0
+        return float(np.quantile(errors, q))
+
+    def predict_interval(
+        self, kind: int, point: float, confidence: float
+    ) -> tuple[float, float]:
+        """Symmetric CI around a fractional forecast (Eq. 18 analogue).
+
+        The default half-width is ``σ̂ · z`` from the seed-error
+        dispersion; families with a sharper dispersion estimate (the
+        quantile predictor's window spread) override this.
+        """
+        from .confidence import z_value
+
+        errors = self.seed_errors[int(kind)]
+        sigma = float(errors.std()) if errors.size >= 2 else 0.0
+        half = sigma * z_value(confidence)
+        return point - half, point + half
+
+    def observe_slot(self, slot: int) -> None:
+        """Slot-boundary hook for ``"online_selection"`` predictors."""
+
+    # ------------------------------------------------------------------
+    # generic serialization ("serialize" capability)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> tuple[dict[str, np.ndarray], dict]:
+        """The fitted state as ``(arrays, meta)`` for :meth:`save_npz`.
+
+        The base payload covers what every family shares (seed errors
+        and priors); families with more state extend both mappings.
+        """
+        if not self.fitted:
+            raise ValueError("predictor is not fitted")
+        arrays = {
+            f"seed_errors{k}": np.asarray(e, dtype=np.float64)
+            for k, e in enumerate(self.seed_errors)
+        }
+        arrays["prior_unused_fraction"] = np.asarray(
+            self.prior_unused_fraction, dtype=np.float64
+        )
+        return arrays, {}
+
+    def _restore_payload(
+        self, arrays: dict[str, np.ndarray], meta: dict
+    ) -> None:
+        """Adopt the base payload fields (inverse of :meth:`to_payload`)."""
+        self.seed_errors = []
+        k = 0
+        while f"seed_errors{k}" in arrays:
+            self.seed_errors.append(np.asarray(arrays[f"seed_errors{k}"]).copy())
+            k += 1
+        self.prior_unused_fraction = np.asarray(
+            arrays["prior_unused_fraction"]
+        ).copy()
+
+    @classmethod
+    def from_payload(
+        cls, arrays: dict[str, np.ndarray], meta: dict, config: object = None
+    ) -> "Predictor":
+        """Rebuild a fitted instance from :meth:`to_payload` output."""
+        raise NotImplementedError(
+            f"{cls.__name__} does not implement payload restore"
+        )
+
+    def save_npz(self, path: str | Path) -> None:
+        """Serialize the fitted state to one ``.npz`` archive."""
+        arrays, extra_meta = self.to_payload()
+        meta = {
+            "payload_version": PAYLOAD_VERSION,
+            "family": self.family,
+            **extra_meta,
+        }
+        arrays = dict(arrays)
+        arrays["_meta"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez(Path(path), **arrays)
+
+    @classmethod
+    def load_npz(cls, path: str | Path, config: object = None) -> "Predictor":
+        """Restore a predictor saved by :meth:`save_npz`."""
+        with np.load(Path(path)) as archive:
+            meta = json.loads(bytes(archive["_meta"]).decode("utf-8"))
+            if meta.get("payload_version") != PAYLOAD_VERSION:
+                raise ValueError(
+                    f"unsupported payload version {meta.get('payload_version')!r}"
+                )
+            if meta.get("family") != cls.family:
+                raise ValueError(
+                    f"archive holds a {meta.get('family')!r} predictor, "
+                    f"not {cls.family!r}"
+                )
+            arrays = {name: archive[name] for name in archive.files}
+        return cls.from_payload(arrays, meta, config)

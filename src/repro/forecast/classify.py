@@ -1,0 +1,301 @@
+"""Classify-then-predict router (after Zhu & Fan).
+
+A job is first *classified* — seeded k-means over standardized trace
+features (per-resource utilization mean and spread, log length,
+burstiness) — and the forecast is then routed to the class's
+specialized sub-predictor: the empirical-quantile base forecast plus a
+per-(class, resource) calibration shift learned from that class's
+training windows.  Routing a job to a model trained on jobs *like it*
+is what beats one monolithic model in Zhu & Fan's study; here the
+sub-predictors stay deliberately simple (shifted quantiles) so the
+family isolates the value of the classification itself.
+
+The per-class calibrations are independent, so :meth:`fit` fans them
+across worker processes via :func:`repro.nn.parallel.parallel_map`
+(``workers >= 2``), bit-identical to the serial loop — the same
+discipline CORP's per-resource fits follow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cluster.resources import NUM_RESOURCES, ResourceVector
+from ..nn.parallel import parallel_map
+from ..obs import OBS
+from .base import Predictor, window_samples
+
+__all__ = ["ClassifyThenPredictPredictor"]
+
+#: Feature vector length: mean + std per resource, log length, burstiness.
+_N_FEATURES = 2 * NUM_RESOURCES + 2
+
+
+def _job_features(util: np.ndarray) -> np.ndarray:
+    """The classification features of one utilization series ``(n, l)``."""
+    means = util.mean(axis=0)
+    stds = util.std(axis=0)
+    length = np.log1p(float(util.shape[0]))
+    overall = util.mean(axis=1)
+    burst = float(np.abs(np.diff(overall)).mean()) if overall.size > 1 else 0.0
+    return np.concatenate([means, stds, [length, burst]])
+
+
+def _kmeans(
+    features: np.ndarray, k: int, seed: int, n_iter: int = 20
+) -> tuple[np.ndarray, np.ndarray]:
+    """Seeded from-scratch k-means; returns ``(centroids, assignment)``.
+
+    Deterministic by construction: seeded init, fixed iteration count,
+    ties broken toward the lowest centroid index, and an emptied class
+    keeps its previous centroid.
+    """
+    n = features.shape[0]
+    k = max(1, min(k, n))
+    rng = np.random.default_rng(seed)
+    centroids = features[rng.choice(n, size=k, replace=False)].copy()
+    assignment = np.zeros(n, dtype=np.int64)
+    for _ in range(n_iter):
+        distances = np.linalg.norm(
+            features[:, None, :] - centroids[None, :, :], axis=2
+        )
+        assignment = distances.argmin(axis=1)
+        for c in range(k):
+            members = features[assignment == c]
+            if members.shape[0]:
+                centroids[c] = members.mean(axis=0)
+    return centroids, assignment
+
+
+@dataclass(frozen=True)
+class _ClassCalibrationTask:
+    """One class's calibration inputs — plain picklable data."""
+
+    class_id: int
+    #: Per resource: ``(base_predictions, targets)`` arrays.
+    samples: tuple[tuple[np.ndarray, np.ndarray], ...]
+
+
+def _calibrate_class(
+    task: _ClassCalibrationTask,
+) -> tuple[np.ndarray, tuple[np.ndarray, ...]]:
+    """Per-resource shift (median residual) and calibrated errors."""
+    shifts = np.zeros(NUM_RESOURCES)
+    errors: list[np.ndarray] = []
+    for kind, (preds, targets) in enumerate(task.samples):
+        if targets.size:
+            residual = targets - preds
+            shifts[kind] = float(np.median(residual))
+            errors.append(residual - shifts[kind])
+        else:
+            errors.append(np.zeros(0))
+    return shifts, tuple(errors)
+
+
+@dataclass
+class ClassifyThenPredictPredictor(Predictor):
+    """k-means job classes feeding class-specialized quantile predictors."""
+
+    family = "classify"
+    capabilities = frozenset({"serialize", "parallel_fit"})
+
+    quantile: float = 0.5
+    input_slots: int = 6
+    window_slots: int = 6
+    prediction_target: str = "window_mean"
+    min_history_slots: int = 2
+    n_classes: int = 3
+    seed: int = 0
+
+    seed_errors: list[np.ndarray] = field(default_factory=list)
+    prior_unused_fraction: np.ndarray = field(
+        default_factory=lambda: np.zeros(NUM_RESOURCES)
+    )
+    #: Standardized-feature centroids ``(k, _N_FEATURES)``.
+    centroids: np.ndarray = field(
+        default_factory=lambda: np.zeros((0, _N_FEATURES))
+    )
+    feature_mean: np.ndarray = field(
+        default_factory=lambda: np.zeros(_N_FEATURES)
+    )
+    feature_scale: np.ndarray = field(
+        default_factory=lambda: np.ones(_N_FEATURES)
+    )
+    #: Per-(class, resource) calibration shifts.
+    class_shifts: np.ndarray = field(
+        default_factory=lambda: np.zeros((0, NUM_RESOURCES))
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        if self.n_classes < 1:
+            raise ValueError("n_classes must be >= 1")
+
+    @classmethod
+    def from_config(cls, config) -> "ClassifyThenPredictPredictor":
+        q = config.train_quantile if config.train_quantile is not None else 0.5
+        return cls(
+            quantile=float(q),
+            input_slots=config.input_slots,
+            window_slots=config.window_slots,
+            prediction_target=config.prediction_target,
+            min_history_slots=config.min_history_slots,
+            seed=config.seed,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def fitted(self) -> bool:
+        return len(self.seed_errors) == NUM_RESOURCES
+
+    def fit(
+        self, history, *, workers: int = 0, **kwargs: object
+    ) -> "ClassifyThenPredictPredictor":
+        """Classify the training jobs, then calibrate per class."""
+        with OBS.span("predictor:fit"):
+            return self._fit(history, workers=workers)
+
+    def _fit(self, history, *, workers: int = 0) -> "ClassifyThenPredictPredictor":
+        records = [r for r in history if r.n_samples >= 2]
+        features = (
+            np.array([_job_features(r.utilization_series()) for r in records])
+            if records
+            else np.zeros((0, _N_FEATURES))
+        )
+        if features.shape[0]:
+            self.feature_mean = features.mean(axis=0)
+            scale = features.std(axis=0)
+            scale[scale < 1e-12] = 1.0
+            self.feature_scale = scale
+            standardized = (features - self.feature_mean) / self.feature_scale
+            self.centroids, assignment = _kmeans(
+                standardized, self.n_classes, self.seed
+            )
+        else:
+            self.feature_mean = np.zeros(_N_FEATURES)
+            self.feature_scale = np.ones(_N_FEATURES)
+            self.centroids = np.zeros((1, _N_FEATURES))
+            assignment = np.zeros(0, dtype=np.int64)
+        k = self.centroids.shape[0]
+
+        # Base (un-shifted) quantile predictions per class and resource.
+        by_class: list[list[tuple[list[float], list[float]]]] = [
+            [([], []) for _ in range(NUM_RESOURCES)] for _ in range(k)
+        ]
+        pooled: list[list[float]] = [[] for _ in range(NUM_RESOURCES)]
+        for record, class_id in zip(records, assignment):
+            for kind in range(NUM_RESOURCES):
+                preds, targets = by_class[class_id][kind]
+                for window, y, _request in window_samples(
+                    [record],
+                    kind,
+                    self.input_slots,
+                    self.window_slots,
+                    target=self.prediction_target,
+                ):
+                    unused = 1.0 - window
+                    preds.append(float(np.quantile(unused, self.quantile)))
+                    targets.append(y)
+                    pooled[kind].append(y)
+        tasks = [
+            _ClassCalibrationTask(
+                class_id=c,
+                samples=tuple(
+                    (np.asarray(preds), np.asarray(targets))
+                    for preds, targets in by_class[c]
+                ),
+            )
+            for c in range(k)
+        ]
+        results = parallel_map(_calibrate_class, tasks, workers=workers)
+        self.class_shifts = np.array([shifts for shifts, _errors in results])
+        self.seed_errors = [
+            np.concatenate([errors[kind] for _shifts, errors in results])
+            if any(errors[kind].size for _shifts, errors in results)
+            else np.zeros(0)
+            for kind in range(NUM_RESOURCES)
+        ]
+        self.prior_unused_fraction = np.array(
+            [
+                float(np.quantile(np.asarray(ys), self.quantile)) if ys else 0.0
+                for ys in pooled
+            ]
+        )
+        if OBS.enabled:
+            sizes = np.bincount(assignment, minlength=k) if records else []
+            OBS.emit(
+                "predictor_fit",
+                family=self.family,
+                n_classes=int(k),
+                class_sizes=[int(s) for s in sizes],
+                n_jobs=len(records),
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    def classify(self, util_history: np.ndarray) -> int:
+        """The k-means class of one job's observed utilization."""
+        features = _job_features(np.atleast_2d(util_history))
+        standardized = (features - self.feature_mean) / self.feature_scale
+        distances = np.linalg.norm(self.centroids - standardized, axis=1)
+        return int(distances.argmin())
+
+    def predict_job_unused(
+        self, util_history: np.ndarray, request: ResourceVector
+    ) -> ResourceVector:
+        """Class-routed quantile forecast with the class's calibration."""
+        if not self.fitted:
+            raise RuntimeError("predictor not fitted")
+        util_history = np.atleast_2d(np.asarray(util_history, dtype=np.float64))
+        if OBS.enabled:
+            OBS.count("predictor.predict")
+        req = request.as_array()
+        if util_history.shape[0] < self.min_history_slots:
+            if OBS.enabled:
+                OBS.count("predictor.prior_fallback")
+            return ResourceVector(self.prior_unused_fraction * req)
+        class_id = self.classify(util_history)
+        shifts = (
+            self.class_shifts[class_id]
+            if class_id < self.class_shifts.shape[0]
+            else np.zeros(NUM_RESOURCES)
+        )
+        out = np.zeros(NUM_RESOURCES)
+        for kind in range(NUM_RESOURCES):
+            unused = 1.0 - util_history[-self.input_slots :, kind]
+            fraction = float(np.quantile(unused, self.quantile)) + shifts[kind]
+            out[kind] = np.clip(fraction, 0.0, 1.0) * req[kind]
+        return ResourceVector(out)
+
+    # ------------------------------------------------------------------
+    def to_payload(self) -> tuple[dict[str, np.ndarray], dict]:
+        arrays, meta = super().to_payload()
+        arrays["centroids"] = self.centroids
+        arrays["feature_mean"] = self.feature_mean
+        arrays["feature_scale"] = self.feature_scale
+        arrays["class_shifts"] = self.class_shifts
+        meta["params"] = {
+            "quantile": self.quantile,
+            "input_slots": self.input_slots,
+            "window_slots": self.window_slots,
+            "prediction_target": self.prediction_target,
+            "min_history_slots": self.min_history_slots,
+            "n_classes": self.n_classes,
+            "seed": self.seed,
+        }
+        return arrays, meta
+
+    @classmethod
+    def from_payload(
+        cls, arrays: dict[str, np.ndarray], meta: dict, config: object = None
+    ) -> "ClassifyThenPredictPredictor":
+        predictor = cls(**meta["params"])
+        predictor._restore_payload(arrays, meta)
+        predictor.centroids = np.asarray(arrays["centroids"]).copy()
+        predictor.feature_mean = np.asarray(arrays["feature_mean"]).copy()
+        predictor.feature_scale = np.asarray(arrays["feature_scale"]).copy()
+        predictor.class_shifts = np.asarray(arrays["class_shifts"]).copy()
+        return predictor

@@ -46,6 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from ..experiments.runner import PredictorCache
     from ..experiments.scenarios import Scenario
     from ..faults.plan import FaultPlan
+    from ..forecast.base import Predictor
     from ..trace.records import TaskRecord, Trace
 
 __all__ = [
@@ -88,13 +89,15 @@ def build_kernel(
     seed: int = 0,
     corp_config: "CorpConfig | None" = None,
     predictor_cache: "PredictorCache | None" = None,
+    predictor: "str | Predictor" = "corp",
     streaming: bool = True,
 ) -> SchedulerKernel:
     """A prepared kernel for one (scenario, method) pair.
 
     The offline phase (predictor fit) happens here, through the shared
-    cache/store tiers.  ``streaming=True`` returns an empty live kernel
-    awaiting :meth:`~SchedulerKernel.submit`; ``streaming=False``
+    cache/store tiers; ``predictor`` selects the registered forecasting
+    family CORP runs on.  ``streaming=True`` returns an empty live
+    kernel awaiting :meth:`~SchedulerKernel.submit`; ``streaming=False``
     preloads the scenario's evaluation trace — the batch form the
     standby-takeover drill steps manually.
     """
@@ -110,6 +113,7 @@ def build_kernel(
         history=history,
         predictor_cache=predictor_cache,
         seed=seed,
+        predictor=predictor,
     )
     scheduler = factories[method]()
     sim = ClusterSimulator(
@@ -144,6 +148,7 @@ class SchedulerService:
         seed: int = 0,
         corp_config: "CorpConfig | None" = None,
         predictor_cache: "PredictorCache | None" = None,
+        predictor: "str | Predictor" = "corp",
         auto_advance: bool = False,
         yield_every: int = 32,
     ) -> None:
@@ -154,6 +159,7 @@ class SchedulerService:
         self._seed = seed
         self._corp_config = corp_config
         self._predictor_cache = predictor_cache
+        self._predictor = predictor
         self._auto_advance = auto_advance
         self._yield_every = yield_every
         self._kernel: SchedulerKernel | None = None
@@ -178,6 +184,7 @@ class SchedulerService:
             seed=self._seed,
             corp_config=self._corp_config,
             predictor_cache=self._predictor_cache,
+            predictor=self._predictor,
             streaming=True,
         )
         self._kernel.on_placements = self._emit_placements
@@ -349,6 +356,7 @@ def open_service(
     method: str = "CORP",
     corp_config: "CorpConfig | None" = None,
     predictor_cache: "PredictorCache | None" = None,
+    predictor: "str | Predictor" = "corp",
     fault_plan: "FaultPlan | None" = None,
     auto_advance: bool = False,
 ) -> SchedulerService:
@@ -358,10 +366,12 @@ def open_service(
     ``seed``) triple; ``seed`` also seeds the scheduler factories (the
     randomized baselines), so match it with the batch entry points when
     comparing runs.  ``fault_plan=`` attaches a seeded fault schedule
-    the service replays while jobs stream in.  The heavy lifting
-    (offline predictor fit) happens on ``start``/``__aenter__``, through
-    ``predictor_cache`` when given — pass a store-backed cache to share
-    fitted models across service instances and processes.
+    the service replays while jobs stream in.  ``predictor=`` selects
+    the registered forecasting family (or instance) CORP runs on.  The
+    heavy lifting (offline predictor fit) happens on
+    ``start``/``__aenter__``, through ``predictor_cache`` when given —
+    pass a store-backed cache to share fitted models across service
+    instances and processes.
     """
     if scenario is None:
         from ..experiments.scenarios import cluster_scenario, ec2_scenario
@@ -382,5 +392,6 @@ def open_service(
         seed=seed,
         corp_config=corp_config,
         predictor_cache=predictor_cache,
+        predictor=predictor,
         auto_advance=auto_advance,
     )

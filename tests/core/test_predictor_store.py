@@ -192,3 +192,72 @@ class TestHousekeeping:
     def test_unfitted_save_rejected(self, store, fast_corp_config):
         with pytest.raises(ValueError):
             store.save(fast_corp_config, "d", CorpPredictor())
+
+
+class TestFamilyIsolation:
+    """v1.6: family-keyed fingerprints keep predictor zoos apart."""
+
+    @pytest.fixture()
+    def fitted_quantile(self, history_trace):
+        from repro.forecast.quantile import QuantileHistogramPredictor
+
+        return QuantileHistogramPredictor().fit(history_trace)
+
+    def test_family_is_part_of_the_fingerprint(self, fast_corp_config):
+        corp = fit_fingerprint(fast_corp_config, "d")
+        assert corp == fit_fingerprint(fast_corp_config, "d", family="corp")
+        for family in ("quantile", "classify", "ets", "markov"):
+            assert fit_fingerprint(fast_corp_config, "d", family) != corp
+
+    def test_non_corp_round_trip(
+        self, store, fast_corp_config, fitted_quantile
+    ):
+        from repro.forecast.quantile import QuantileHistogramPredictor
+
+        store.save(fast_corp_config, "d", fitted_quantile)
+        loaded = store.load(fast_corp_config, "d", family="quantile")
+        assert isinstance(loaded, QuantileHistogramPredictor)
+        assert loaded.fitted
+        for a, b in zip(fitted_quantile.seed_errors, loaded.seed_errors):
+            np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(
+            fitted_quantile.window_sigma, loaded.window_sigma
+        )
+
+    def test_families_never_cross_load(
+        self, store, fast_corp_config, fitted_quantile, fitted_predictor
+    ):
+        store.save(fast_corp_config, "d", fitted_quantile)
+        # Same config and digest, corp family: distinct key, so a miss.
+        assert store.load(fast_corp_config, "d") is None
+        store.save(fast_corp_config, "d", fitted_predictor)
+        assert store.load(fast_corp_config, "d") is not None
+        assert store.load(fast_corp_config, "d", family="classify") is None
+
+    def test_non_corp_artifacts_never_donate(
+        self, store, fast_corp_config, fitted_quantile
+    ):
+        # Warm starts seed DNN weights; other families are ineligible.
+        store.save(fast_corp_config, "d1", fitted_quantile)
+        assert store.nearest(fast_corp_config, exclude_digest="d2") is None
+
+    def test_legacy_sidecar_without_family_counts_as_corp(
+        self, store, fast_corp_config, fitted_predictor
+    ):
+        store.save(fast_corp_config, "d1", fitted_predictor)
+        key = fit_fingerprint(fast_corp_config, "d1")
+        meta_path = store.root / f"{key}.json"
+        meta = json.loads(meta_path.read_text())
+        meta.pop("family")
+        meta_path.write_text(json.dumps(meta))
+        assert store.nearest(fast_corp_config, exclude_digest="d2") is not None
+
+    def test_family_stamped_in_sidecar(
+        self, store, fast_corp_config, fitted_quantile, fitted_predictor
+    ):
+        store.save(fast_corp_config, "d", fitted_quantile)
+        store.save(fast_corp_config, "d", fitted_predictor)
+        families = set()
+        for meta_path in store.root.glob("*.json"):
+            families.add(json.loads(meta_path.read_text())["family"])
+        assert families == {"quantile", "corp"}

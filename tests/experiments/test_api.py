@@ -299,3 +299,51 @@ class TestCliObservability:
         with pytest.raises(SystemExit) as exc:
             main(["figure", "fig99"])
         assert exc.value.code != 0
+
+
+class TestSinkHygiene:
+    """The process-global OBS sink must never leak out of an entry point.
+
+    v1.6 regression tests: ``profile_run(events=...)`` and
+    ``capture_events`` both attach the process-global sink and must
+    detach it in ``try``/``finally`` — a mid-run exception used to leave
+    a stale sink attached, silently swallowing every later run's events.
+    """
+
+    def test_profile_run_detaches_events_sink_on_success(self, tmp_path):
+        out = tmp_path / "ev.jsonl"
+        report = api.profile_run(jobs=10, methods=("DRA",), events=str(out))
+        assert OBS.sink is None and not OBS.enabled
+        assert report["predictor"] == "corp"
+        grouped = events_by_name(read_jsonl(str(out)))
+        assert grouped["slot"]
+
+    def test_profile_run_detaches_events_sink_on_failure(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.api import _run
+
+        def explode(**kwargs):
+            raise RuntimeError("mid-run failure")
+
+        monkeypatch.setattr(_run, "compare", explode)
+        with pytest.raises(RuntimeError, match="mid-run failure"):
+            api.profile_run(jobs=10, events=str(tmp_path / "ev.jsonl"))
+        assert OBS.sink is None
+        assert not OBS.enabled  # profiling switched back off too
+
+    def test_profile_run_without_events_keeps_caller_sink(self):
+        sink = MemorySink()
+        api.attach_sink(sink)
+        try:
+            api.profile_run(jobs=10, methods=("DRA",))
+            assert OBS.sink is sink  # caller-attached sink untouched
+        finally:
+            api.detach_sink()
+        assert OBS.sink is None
+
+    def test_capture_events_detaches_on_failure(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            with api.capture_events(MemorySink()):
+                raise RuntimeError("boom")
+        assert OBS.sink is None and not OBS.enabled

@@ -1,0 +1,118 @@
+"""Snapshot of the public API surface of :mod:`repro.api`.
+
+The v1.6 package split (``repro/api/`` replacing the single
+``api.py``) promised an identical public surface; this test pins
+``__all__`` and every public function signature — parameter names,
+keyword-only-ness, defaults and annotations — so any accidental
+drift in the facade fails loudly, and deliberate changes require
+editing the snapshot in the same commit.
+"""
+
+import inspect
+
+from repro import api
+
+EXPECTED_ALL = (
+    "compare",
+    "sweep",
+    "run_one",
+    "profile_run",
+    "check_run",
+    "replay",
+    "inject",
+    "build_fault_plan",
+    "open_service",
+    "takeover_run",
+    "PlacementUpdate",
+    "SchedulerService",
+    "TakeoverReport",
+    "attach_sink",
+    "detach_sink",
+    "capture_events",
+    "build_scenario",
+    "available_predictors",
+    "predictor_summaries",
+    "FaultPlan",
+    "RetryPolicy",
+    "PredictorCache",
+    "PredictorStore",
+    "default_store_dir",
+    "Scenario",
+    "SimulationResult",
+    "METHOD_ORDER",
+)
+
+#: Non-callable / class exports and what they must be.
+EXPECTED_KINDS = {
+    "PlacementUpdate": "type",
+    "SchedulerService": "type",
+    "TakeoverReport": "type",
+    "FaultPlan": "type",
+    "RetryPolicy": "type",
+    "PredictorCache": "type",
+    "PredictorStore": "type",
+    "Scenario": "type",
+    "SimulationResult": "type",
+    "METHOD_ORDER": "tuple",
+}
+
+#: name -> the exact ``inspect.signature`` string.
+EXPECTED_SIGNATURES = {
+    'compare': '(*, scenario: \'Scenario | None\' = None, jobs: \'int\' = 200, testbed: \'str\' = \'cluster\', seed: \'int\' = 7, methods: \'Iterable[str]\' = (\'CORP\', \'RCCR\', \'CloudScale\', \'DRA\'), workers: \'int\' = 0, predictor_cache: \'PredictorCache | None\' = None, predictor: "\'str | Predictor\'" = \'corp\', fault_plan: \'FaultPlan | None\' = None) -> \'dict[str, SimulationResult]\'',
+    'sweep': '(*, scenarios: \'Sequence[Scenario]\', methods: \'Iterable[str]\' = (\'CORP\', \'RCCR\', \'CloudScale\', \'DRA\'), seed: \'int\' = 0, corp_config: \'CorpConfig | None\' = None, workers: \'int\' = 0, predictor_cache: \'PredictorCache | None\' = None, predictor: "\'str | Predictor\'" = \'corp\', fault_plan: \'FaultPlan | None\' = None) -> \'list[SimulationResult]\'',
+    'run_one': '(*, scenario: \'Scenario\', method: \'str\', seed: \'int\' = 0, corp_config: \'CorpConfig | None\' = None, predictor_cache: \'PredictorCache | None\' = None, predictor: "\'str | Predictor\'" = \'corp\', fault_plan: \'FaultPlan | None\' = None) -> \'SimulationResult\'',
+    'profile_run': '(*, jobs: \'int\' = 50, testbed: \'str\' = \'cluster\', seed: \'int\' = 7, methods: \'Iterable[str]\' = (\'CORP\', \'RCCR\', \'CloudScale\', \'DRA\'), predictor_cache: \'PredictorCache | None\' = None, predictor_cache_size: \'int\' = 16, predictor: "\'str | Predictor\'" = \'corp\', events: \'str | None\' = None) -> \'dict\'',
+    'check_run': '(*, scenario: \'Scenario | None\' = None, jobs: \'int\' = 200, testbed: \'str\' = \'cluster\', seed: \'int\' = 7, methods: \'Iterable[str]\' = (\'CORP\', \'RCCR\', \'CloudScale\', \'DRA\'), predictor_cache: \'PredictorCache | None\' = None, predictor: "\'str | Predictor\'" = \'corp\', fault_plan: \'FaultPlan | None\' = None, rules: \'Iterable[str] | None\' = None, tolerance: \'float\' = 1e-06, differential: \'bool\' = False, events: \'str | None\' = None) -> "\'CheckReport\'"',
+    'replay': '(*, events: \'str\', methods: \'Iterable[str] | None\' = None, tolerance: \'float\' = 1e-09, max_mismatches: \'int\' = 100) -> "\'ReplayReport\'"',
+    'inject': "(*, scenario: 'Scenario', plan: 'FaultPlan | None') -> 'Scenario'",
+    'build_fault_plan': "(*, seed: 'int' = 0, n_slots: 'int' = 400, intensity: 'float' = 0.3, vm_crash_rate: 'float | None' = None, crash_downtime_slots: 'int' = 10, revocation_rate: 'float | None' = None, revocation_fraction: 'float' = 0.5, revocation_duration_slots: 'int' = 8, outage_rate: 'float | None' = None, outage_duration_slots: 'int' = 10, job_failure_rate: 'float | None' = None, retry: 'RetryPolicy | None' = None) -> 'FaultPlan'",
+    'open_service': '(*, scenario: "\'Scenario | None\'" = None, jobs: \'int\' = 50, testbed: \'str\' = \'cluster\', seed: \'int\' = 7, method: \'str\' = \'CORP\', corp_config: "\'CorpConfig | None\'" = None, predictor_cache: "\'PredictorCache | None\'" = None, predictor: "\'str | Predictor\'" = \'corp\', fault_plan: "\'FaultPlan | None\'" = None, auto_advance: \'bool\' = False) -> \'SchedulerService\'',
+    'takeover_run': '(*, scenario: "\'Scenario | None\'" = None, jobs: \'int\' = 40, testbed: \'str\' = \'cluster\', seed: \'int\' = 7, method: \'str\' = \'CORP\', takeover_slot: \'int | None\' = None, corp_config: "\'CorpConfig | None\'" = None, predictor_cache: "\'PredictorCache | None\'" = None, fault_plan: "\'FaultPlan | None\'" = None) -> \'TakeoverReport\'',
+    'attach_sink': "(sink: 'Sink | str') -> 'Sink'",
+    'detach_sink': "() -> 'None'",
+    'capture_events': "(sink: 'Sink | str') -> 'Iterator[Sink]'",
+    'build_scenario': "(*, jobs: 'int' = 200, testbed: 'str' = 'cluster', seed: 'int' = 7) -> 'Scenario'",
+    'available_predictors': "() -> 'tuple[str, ...]'",
+    'predictor_summaries': "() -> 'dict[str, str]'",
+    'default_store_dir': "() -> 'Path'",
+}
+
+
+def test_all_is_pinned():
+    assert tuple(api.__all__) == EXPECTED_ALL
+
+
+def test_every_export_exists():
+    for name in EXPECTED_ALL:
+        assert hasattr(api, name), name
+
+
+def test_function_signatures_are_pinned():
+    for name, expected in EXPECTED_SIGNATURES.items():
+        obj = getattr(api, name)
+        assert inspect.isfunction(obj) or callable(obj), name
+        assert str(inspect.signature(obj)) == expected, name
+
+
+def test_non_function_exports_are_pinned():
+    for name, kind in EXPECTED_KINDS.items():
+        obj = getattr(api, name)
+        if kind == "type":
+            assert isinstance(obj, type), name
+        else:
+            assert type(obj).__name__ == kind, name
+
+
+def test_entry_points_are_keyword_only():
+    """The run entry points accept no positional arguments at all."""
+    for name in (
+        "run_one", "compare", "sweep", "profile_run", "check_run",
+        "replay", "inject", "build_fault_plan", "open_service",
+        "takeover_run", "build_scenario",
+    ):
+        params = inspect.signature(getattr(api, name)).parameters
+        assert params, name
+        assert all(
+            p.kind is inspect.Parameter.KEYWORD_ONLY
+            for p in params.values()
+        ), name
