@@ -11,6 +11,12 @@ runs where the offline DNN/HMM fit dominates): no store vs cold store
 vs warm store vs process-parallel fits vs warm-started refit, written
 to BENCH_coldpath.json.
 
+``--scale`` instead benchmarks the hyperscale placement engine: a
+sharded availability index over ``--scale-vms`` machines driven by a
+streamed trace at each ``--scale-jobs`` count, written (jobs/sec curve
+plus tracemalloc peaks) to BENCH_scale.json.  The last point must stay
+within 2x of the first point's jobs/sec.
+
 Usage::
 
     python benchmarks/bench_runtime.py            # full sweep
@@ -18,6 +24,9 @@ Usage::
     python benchmarks/bench_runtime.py --workers 4
     python benchmarks/bench_runtime.py --out /tmp/bench.json --no-assert
     python benchmarks/bench_runtime.py --cold     # predictor-store bench
+    python benchmarks/bench_runtime.py --scale    # 10k VMs, 100k+1M jobs
+    python benchmarks/bench_runtime.py --scale --shards 2 \\
+        --scale-vms 200 --scale-jobs 5000         # CI smoke
     python benchmarks/bench_runtime.py --quick \\
         --regression-against benchmarks/BENCH_reference_quick.json
 
@@ -37,9 +46,11 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.experiments.bench import (  # noqa: E402
+    SCALE_COUNTS,
     check_regression,
     write_benchmark,
     write_cold_benchmark,
+    write_scale_benchmark,
 )
 
 
@@ -54,6 +65,29 @@ def main(argv: list[str] | None = None) -> int:
         help="benchmark the cold path instead: predictor store "
              "(cold/warm), process-parallel fits, warm-started refits; "
              "writes BENCH_coldpath.json",
+    )
+    parser.add_argument(
+        "--scale", action="store_true",
+        help="benchmark the hyperscale placement engine instead: "
+             "sharded index + streamed trace, jobs/sec per job count; "
+             "writes BENCH_scale.json",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=8, metavar="N",
+        help="availability-index shard count for --scale (default: 8)",
+    )
+    parser.add_argument(
+        "--scale-vms", type=int, default=10_000, metavar="N",
+        help="VM-pool size for --scale (default: 10000)",
+    )
+    parser.add_argument(
+        "--scale-jobs", type=int, nargs="+", default=None, metavar="N",
+        help="job counts of the --scale curve "
+             f"(default: {' '.join(str(c) for c in SCALE_COUNTS)})",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=4096, metavar="N",
+        help="streaming-trace chunk size for --scale (default: 4096)",
     )
     parser.add_argument(
         "--workers", type=int, default=0,
@@ -86,11 +120,30 @@ def main(argv: list[str] | None = None) -> int:
              "(machine-normalized via the live legacy baseline)",
     )
     args = parser.parse_args(argv)
+    if args.cold and args.scale:
+        print("error: --cold and --scale are mutually exclusive",
+              file=sys.stderr)
+        return 2
     if args.out is None:
-        name = "BENCH_coldpath.json" if args.cold else "BENCH_runtime.json"
+        if args.scale:
+            name = "BENCH_scale.json"
+        elif args.cold:
+            name = "BENCH_coldpath.json"
+        else:
+            name = "BENCH_runtime.json"
         args.out = os.path.join(REPO_ROOT, name)
     try:
-        if args.cold:
+        if args.scale:
+            report = write_scale_benchmark(
+                args.out,
+                n_vms=args.scale_vms,
+                shards=args.shards,
+                chunk_size=args.chunk_size,
+                job_counts=tuple(args.scale_jobs or SCALE_COUNTS),
+                seed=args.seed,
+                assert_floors=not args.no_assert,
+            )
+        elif args.cold:
             report = write_cold_benchmark(
                 args.out,
                 jobs=args.jobs,
@@ -113,10 +166,10 @@ def main(argv: list[str] | None = None) -> int:
     print(json.dumps(report, indent=2))
     print(f"\nwrote {args.out}")
     if args.regression_against:
-        if args.cold:
+        if args.cold or args.scale:
             print(
                 "error: --regression-against applies to the sweep bench, "
-                "not --cold",
+                "not --cold/--scale",
                 file=sys.stderr,
             )
             return 2

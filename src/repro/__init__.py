@@ -66,7 +66,9 @@ from .cluster import (
     Placement,
     ResourceKind,
     ResourceVector,
+    ScaleConfig,
     Scheduler,
+    ShardedCandidateIndex,
     SimulationConfig,
     SimulationResult,
     SloSpec,
@@ -115,7 +117,7 @@ from .check import CheckReport, InvariantChecker, ReplayReport, Violation
 from .faults import FaultPlan, RetryPolicy, TakeoverReport
 from .service import PlacementUpdate, SchedulerKernel, SchedulerService
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "CloudScaleScheduler",
@@ -129,7 +131,9 @@ __all__ = [
     "Placement",
     "ResourceKind",
     "ResourceVector",
+    "ScaleConfig",
     "Scheduler",
+    "ShardedCandidateIndex",
     "SimulationConfig",
     "SimulationResult",
     "SloSpec",

@@ -150,6 +150,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             fault_plan=fault_plan,
             predictor_cache=cache,
             predictor=args.predictor,
+            scale=_scale_from_args(args),
         )
     finally:
         if capturing:
@@ -253,6 +254,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             fault_plan=fault_plan,
             predictor_cache=cache,
             predictor=args.predictor,
+            scale=_scale_from_args(args),
         ) as svc:
             consumer = asyncio.ensure_future(_consume(svc))
             n = await svc.submit_trace(scenario.evaluation_trace())
@@ -688,6 +690,34 @@ def _add_predictor_option(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_scale_options(parser: argparse.ArgumentParser) -> None:
+    """The hyperscale flags shared by ``compare`` and ``serve``."""
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="partition the availability index into N VM-pool shards "
+             "(default: 1; results are identical at any shard count — "
+             "sharding bounds per-slot recompute work on 10k+-VM "
+             "clusters)",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="records per chunk for streaming trace generation "
+             "(default: 4096)",
+    )
+
+
+def _scale_from_args(args: argparse.Namespace) -> "api.ScaleConfig | None":
+    """Build the ``scale=`` argument from the CLI flags (None = defaults)."""
+    if args.shards is None and args.chunk_size is None:
+        return None
+    kwargs = {}
+    if args.shards is not None:
+        kwargs["shards"] = args.shards
+    if args.chunk_size is not None:
+        kwargs["chunk_size"] = args.chunk_size
+    return api.ScaleConfig(**kwargs)
+
+
 def _add_cache_options(parser: argparse.ArgumentParser) -> None:
     """The predictor-cache flags shared by ``compare`` and ``profile``."""
     parser.add_argument(
@@ -758,6 +788,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_options(compare)
     _add_predictor_option(compare)
+    _add_scale_options(compare)
     compare.set_defaults(func=_cmd_compare)
 
     serve = sub.add_parser(
@@ -791,6 +822,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_options(serve)
     _add_predictor_option(serve)
+    _add_scale_options(serve)
     serve.set_defaults(func=_cmd_serve)
 
     profile = sub.add_parser(

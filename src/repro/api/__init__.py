@@ -12,6 +12,12 @@ keyword-only entry points plus the observability attachments:
   ``"classify"``, ``"ets"``, ``"markov"`` or ``"auto"`` (online
   per-workload selection); :func:`available_predictors` /
   :func:`predictor_summaries` enumerate the registry;
+* ``scale=`` (v1.7, on :func:`run_one` / :func:`compare` /
+  :func:`sweep` / :func:`open_service`) — a typed
+  :class:`~repro.cluster.shards.ScaleConfig` selecting the hyperscale
+  knobs: availability-index shard count, streaming-trace chunk size and
+  index backend; the default single-shard config is byte-identical to
+  pre-sharding output;
 * :func:`build_fault_plan` / :func:`inject` — seeded deterministic
   fault schedules and their attachment to scenarios (``fault_plan=`` on
   the entry points is the shorthand);
@@ -40,6 +46,7 @@ replay), ``_faults`` (fault-plan helpers), ``_service`` (service mode)
 underscore modules are implementation detail.
 """
 
+from ..cluster.shards import ScaleConfig
 from ..cluster.simulator import SimulationResult
 from ..core.predictor_store import PredictorStore, default_store_dir
 from ..experiments.runner import METHOD_ORDER, PredictorCache
@@ -90,6 +97,7 @@ __all__ = [
     "PredictorCache",
     "PredictorStore",
     "default_store_dir",
+    "ScaleConfig",
     "Scenario",
     "SimulationResult",
     "METHOD_ORDER",

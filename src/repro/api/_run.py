@@ -7,6 +7,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from ..cluster.shards import ScaleConfig
 from ..cluster.simulator import SimulationResult
 from ..core.config import CorpConfig
 from ..experiments.runner import (
@@ -69,6 +70,16 @@ def _apply_fault_plan(
     if fault_plan is None:
         return scenario
     return scenario.with_fault_plan(fault_plan)
+
+
+def _apply_scale(scenario: Scenario, scale: ScaleConfig | None) -> Scenario:
+    """Fold an explicit ``scale=`` argument into the scenario.
+
+    ``None`` keeps whatever the scenario's ``sim_config`` already says —
+    the default single-shard config, byte-identical to pre-sharding
+    output.
+    """
+    return scenario.with_scale(scale)
 
 
 def _predictor_name(predictor: "str | Predictor") -> str:
@@ -179,19 +190,23 @@ def run_one(
     predictor_cache: PredictorCache | None = None,
     predictor: "str | Predictor" = "corp",
     fault_plan: FaultPlan | None = None,
+    scale: ScaleConfig | None = None,
 ) -> SimulationResult:
     """Run one method on one scenario (optionally under a fault plan).
 
     ``predictor=`` names the registered forecasting family CORP runs on
     (or passes a prebuilt :class:`~repro.forecast.base.Predictor`
     instance); baselines ignore it.  Unknown names raise
-    :class:`ValueError` listing the registry.
+    :class:`ValueError` listing the registry.  ``scale=`` overrides the
+    scenario's :class:`~repro.cluster.shards.ScaleConfig` (availability-
+    index sharding, streaming chunk size).
     """
     if method not in METHOD_ORDER:
         raise ValueError(
             f"unknown method {method!r} (expected one of {METHOD_ORDER})"
         )
     scenario = _apply_fault_plan(scenario, fault_plan)
+    scenario = _apply_scale(scenario, scale)
     with OBS.span("trace:generate"):
         trace = scenario.evaluation_trace()
         history = scenario.history_trace()
@@ -218,13 +233,15 @@ def compare(
     predictor_cache: PredictorCache | None = None,
     predictor: "str | Predictor" = "corp",
     fault_plan: FaultPlan | None = None,
+    scale: ScaleConfig | None = None,
 ) -> dict[str, SimulationResult]:
     """Run every method on the same workload; ``method → result``.
 
     Pass either a prebuilt ``scenario`` or the (``jobs``, ``testbed``,
     ``seed``) triple to build one; ``fault_plan=`` replays a fault
-    schedule against every method and ``predictor=`` selects CORP's
-    forecasting family.  ``workers >= 2`` fans the methods over worker
+    schedule against every method, ``predictor=`` selects CORP's
+    forecasting family and ``scale=`` sets the hyperscale knobs
+    (availability-index shards, streaming chunk size).  ``workers >= 2`` fans the methods over worker
     processes — results are bit-identical to serial, and the predictor
     must then be a registry name (instances are process-local).  With a
     path-backed JSONL sink attached, each worker records its events to a
@@ -235,6 +252,7 @@ def compare(
     if scenario is None:
         scenario = build_scenario(jobs=jobs, testbed=testbed, seed=seed)
     scenario = _apply_fault_plan(scenario, fault_plan)
+    scenario = _apply_scale(scenario, scale)
     methods = tuple(methods)
     _emit_run_meta(
         scenario=scenario,
@@ -280,6 +298,7 @@ def sweep(
     predictor_cache: PredictorCache | None = None,
     predictor: "str | Predictor" = "corp",
     fault_plan: FaultPlan | None = None,
+    scale: ScaleConfig | None = None,
 ) -> list[SimulationResult]:
     """Scenarios × methods, in sweep order (scenario-major).
 
@@ -287,13 +306,17 @@ def sweep(
     ``fault_plan=`` here applies the same schedule to *every* scenario
     (build per-scenario plans with :func:`inject` for anything finer,
     e.g. a fault-intensity sweep); ``predictor=`` selects CORP's
-    forecasting family for every run.  Parallel observability follows
+    forecasting family and ``scale=`` the hyperscale knobs for every
+    run.  Parallel observability follows
     :func:`compare`'s rules: path-backed JSONL sinks shard per worker
     and merge on join; other recording modes raise :class:`ValueError`
     with ``workers >= 2`` — as does a predictor *instance*, which
     cannot cross process boundaries.
     """
-    scenarios = [_apply_fault_plan(s, fault_plan) for s in scenarios]
+    scenarios = [
+        _apply_scale(_apply_fault_plan(s, fault_plan), scale)
+        for s in scenarios
+    ]
     _require_named_predictor(predictor, workers)
     if isinstance(predictor, Predictor):
         # One shared instance across every run: execute the same

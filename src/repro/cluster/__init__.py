@@ -18,6 +18,7 @@ from .metrics import (
 from .profiles import ClusterProfile
 from .resources import DEFAULT_WEIGHTS, NUM_RESOURCES, ResourceKind, ResourceVector
 from .scheduler import LatencyMeter, PredictionLog, Scheduler
+from .shards import ScaleConfig, ShardedCandidateIndex
 from .simulator import ClusterSimulator, SimulationConfig, SimulationResult
 from .slo import SloSpec, SloTracker
 
@@ -41,7 +42,9 @@ __all__ = [
     "ResourceVector",
     "LatencyMeter",
     "PredictionLog",
+    "ScaleConfig",
     "Scheduler",
+    "ShardedCandidateIndex",
     "ClusterSimulator",
     "SimulationConfig",
     "SimulationResult",

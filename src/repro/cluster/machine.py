@@ -82,6 +82,18 @@ class VirtualMachine:
         #: that memoize capacity-derived values (e.g. the simulator's
         #: ``max_vm_capacity``) can key their caches on it.
         self.capacity_version = 0
+        #: Bumped whenever anything a placement index mirrors changes —
+        #: commitment, effective capacity or liveness.  The sharded
+        #: availability index (:mod:`repro.cluster.shards`) compares
+        #: these counters to decide which rows to re-read, so every
+        #: mutation path below must route through
+        #: :meth:`_invalidate_commitment` (or bump explicitly, as
+        #: :meth:`restore` does).
+        self.state_version = 0
+        #: Set by the owning simulator; notified (``notice_capacity_change``)
+        #: whenever the effective capacity changes so its Eq. 22 reference
+        #: cache can revalidate in O(1) rather than scanning all VMs.
+        self._capacity_observer: object | None = None
         #: False while the VM is crashed (fault injection): it accepts
         #: no placements and executes no slots until restored.
         self.online = True
@@ -129,6 +141,9 @@ class VirtualMachine:
                 self.base_capacity.as_array() * scale
             )
         self.capacity_version += 1
+        observer = self._capacity_observer
+        if observer is not None:
+            observer.notice_capacity_change()
         self._invalidate_commitment()
 
     # ------------------------------------------------------------------
@@ -137,6 +152,7 @@ class VirtualMachine:
     def _invalidate_commitment(self) -> None:
         self._committed_vec = None
         self._unallocated_vec = None
+        self.state_version += 1
 
     def committed(self) -> ResourceVector:
         """Total primary reservations currently held on this VM."""
@@ -271,6 +287,9 @@ class VirtualMachine:
     def restore(self) -> None:
         """Bring a crashed VM back online (empty, histories cold)."""
         self.online = True
+        # Liveness is index-mirrored state: bump so persistent indexes
+        # re-admit this VM's row (crash() bumped via evict_all()).
+        self.state_version += 1
 
     # ------------------------------------------------------------------
     # slot execution

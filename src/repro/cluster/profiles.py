@@ -87,6 +87,28 @@ class ClusterProfile:
             comm_latency_s=0.002,
         )
 
+    @classmethod
+    def hyperscale(
+        cls, n_pms: int = 1250, vms_per_pm: int = 8
+    ) -> "ClusterProfile":
+        """A 10k-VM datacenter testbed for the sharding layer.
+
+        Defaults to 1250 dense PMs (64 cores / 256 GB / 4 TB, modern
+        2-socket boxes) carved into 8 VMs each — 10,000 VMs, two orders
+        of magnitude beyond the paper's testbeds.  Exercised by
+        ``bench_runtime.py --scale`` together with streaming trace
+        generation; pair it with ``ScaleConfig(shards=...)`` so the
+        availability index is shard-partitioned rather than one 10k-row
+        rebuild per slot.
+        """
+        return cls(
+            name="hyperscale",
+            n_pms=n_pms,
+            pm_capacity=ResourceVector.of(cpu=64.0, mem=256.0, storage=4000.0),
+            vms_per_pm=vms_per_pm,
+            comm_latency_s=0.0001,
+        )
+
     # ------------------------------------------------------------------
     @property
     def n_vms(self) -> int:

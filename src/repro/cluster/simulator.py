@@ -28,6 +28,7 @@ from .metrics import MetricsRecorder
 from .profiles import ClusterProfile
 from .resources import ResourceVector
 from .scheduler import Scheduler
+from .shards import ScaleConfig
 from .slo import SloSpec, SloTracker
 
 __all__ = ["SimulationConfig", "SimulationResult", "ClusterSimulator"]
@@ -47,12 +48,17 @@ class SimulationConfig:
         The response-time SLO specification.
     drain:
         Keep simulating after the last arrival until all jobs finish.
+    scale:
+        Hyperscale knobs (availability-index sharding, streaming chunk
+        size); the default single-shard config reproduces pre-sharding
+        output byte-identically.
     """
 
     slot_duration_s: float = 10.0
     max_slots: int = 20_000
     slo: SloSpec = field(default_factory=SloSpec)
     drain: bool = True
+    scale: ScaleConfig = field(default_factory=ScaleConfig)
 
 
 @dataclass
@@ -137,7 +143,14 @@ class ClusterSimulator:
         self.completed: list[Job] = []
         self.failed: list[Job] = []
         self.current_slot: int = 0
-        self._max_capacity_cache: tuple[tuple[object, ...], ResourceVector] | None = None
+        # Capacity-cache epoch: bumped by VMs (via the observer hook)
+        # whenever any effective capacity changes, so ``max_vm_capacity``
+        # revalidates in O(1) instead of scanning 10k+ capacity versions
+        # per admitted job.
+        self._capacity_epoch: int = 0
+        for vm in self.vms:
+            vm._capacity_observer = self
+        self._max_capacity_cache: tuple[int, ResourceVector] | None = None
         # An empty plan builds no injector: the fault layer then adds
         # zero work (and zero behavioural difference) to the slot loop.
         self.faults: "FaultInjector | None" = None
@@ -153,20 +166,24 @@ class ClusterSimulator:
         return self.faults is None or self.faults.predictor_available
 
     # ------------------------------------------------------------------
+    def notice_capacity_change(self) -> None:
+        """Observer hook VMs call when their effective capacity changes."""
+        self._capacity_epoch += 1
+
     def max_vm_capacity(self) -> ResourceVector:
         """Elementwise max capacity across VMs (the ``C'`` of Eq. 22).
 
-        Memoized: the simulator consults it for every arriving job but
-        capacity only changes when the cluster is reconfigured or a
-        fault revokes/restores capacity, so the cache is keyed on the
-        VM identities plus their capacity versions.
+        Memoized: the simulator consults it for every arriving job (and
+        CORP for every selection) but capacity only changes when a fault
+        revokes/restores it, so the cache is keyed on a capacity epoch
+        the VMs bump through the observer hook — an O(1) check where the
+        previous per-VM version scan cost O(n_vms) per admitted job.
         """
-        key = tuple((id(vm), vm.capacity_version) for vm in self.vms)
         cached = self._max_capacity_cache
-        if cached is not None and cached[0] == key:
+        if cached is not None and cached[0] == self._capacity_epoch:
             return cached[1]
         value = ResourceVector.elementwise_max(vm.capacity for vm in self.vms)
-        self._max_capacity_cache = (key, value)
+        self._max_capacity_cache = (self._capacity_epoch, value)
         return value
 
     def _admit(self, job: Job) -> bool:

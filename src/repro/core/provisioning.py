@@ -30,10 +30,16 @@ from ..cluster.job import Job
 from ..cluster.machine import Placement, SlotOutcome, VirtualMachine
 from ..cluster.resources import NUM_RESOURCES, ResourceVector
 from ..cluster.scheduler import Scheduler
+from ..cluster.shards import ShardedCandidateIndex
 from ..obs import OBS
 from .packing import JobEntity, singleton_entities
 from .preemption import PreemptionGate
 from .vm_selection import CandidateSet, select_random_feasible, unused_volume
+
+#: The pool shapes the placement path selects from: the original
+#: single-matrix set or its shard-partitioned hyperscale counterpart
+#: (duck-compatible; see :mod:`repro.cluster.shards`).
+CandidatePool = (CandidateSet, ShardedCandidateIndex)
 
 __all__ = ["ProvisioningSchedulerBase"]
 
@@ -97,10 +103,19 @@ class ProvisioningSchedulerBase(Scheduler):
         self._window_committed: dict[int, np.ndarray] = {}
         self._window_jobset: dict[int, frozenset[int]] = {}
         self._window_raw_forecast: dict[int, np.ndarray] = {}
-        #: Per-``place_jobs`` candidate matrices (rebuilt each call,
-        #: updated incrementally as placements land within it).
-        self._primary_pool = CandidateSet([], np.zeros((0, NUM_RESOURCES)))
-        self._opp_pool = CandidateSet([], np.zeros((0, NUM_RESOURCES)))
+        #: Candidate pools the placement path selects from.  The
+        #: primary pool is a *persistent* sharded availability index
+        #: refreshed in place via VM ``state_version`` dirty tracking;
+        #: the opportunistic pool is per-window forecast state and is
+        #: rebuilt each call (its rows are scheduler bookkeeping, not
+        #: VM state a version counter could mirror).
+        self._primary_index: ShardedCandidateIndex | None = None
+        self._primary_pool: CandidateSet | ShardedCandidateIndex = CandidateSet(
+            [], np.zeros((0, NUM_RESOURCES))
+        )
+        self._opp_pool: CandidateSet | ShardedCandidateIndex = CandidateSet(
+            [], np.zeros((0, NUM_RESOURCES))
+        )
         #: Running (min, sum, count) of realized availability over the
         #: window's valid slots — the realized counterpart the forecast
         #: is scored against (see ``actual_aggregate``).
@@ -109,6 +124,16 @@ class ProvisioningSchedulerBase(Scheduler):
         #: no forecasts, no opportunistic placement — provisioning falls
         #: back to the jobs' requested resources.
         self._degraded = False
+
+    def bind(self, sim) -> None:
+        """Attach to a simulator, dropping any prior availability index.
+
+        The persistent primary index mirrors one simulator's VM list; a
+        rebind (fresh run, takeover replica) must not carry rows from
+        the previous cluster.
+        """
+        super().bind(sim)
+        self._primary_index = None
 
     # ------------------------------------------------------------------
     # subclass hooks
@@ -132,11 +157,12 @@ class ProvisioningSchedulerBase(Scheduler):
     ) -> VirtualMachine | None:
         """Pick a feasible VM (default: the baselines' uniform random).
 
-        ``candidates`` is a :class:`CandidateSet` on the scheduler's own
-        path; overrides that iterate it as ``(vm, availability)`` pairs
-        (the documented shape) keep working unchanged.
+        ``candidates`` is a :class:`CandidateSet` (or its sharded
+        counterpart) on the scheduler's own path; overrides that iterate
+        it as ``(vm, availability)`` pairs (the documented shape) keep
+        working unchanged.
         """
-        if isinstance(candidates, CandidateSet):
+        if isinstance(candidates, CandidatePool):
             return candidates.select_random_feasible(demand, self.rng)
         return select_random_feasible(demand, candidates, self.rng)
 
@@ -331,12 +357,16 @@ class ProvisioningSchedulerBase(Scheduler):
     def place_jobs(self, pending: Sequence[Job], slot: int) -> list[Job]:
         """Place pending jobs entity by entity; returns those placed.
 
-        The candidate pools (unallocated capacity for primary
-        placements, unlocked predicted unused for opportunistic ones)
-        are built as :class:`CandidateSet` matrices *once* per call and
-        updated incrementally as placements land — the per-entity
-        rebuild of ``(vm, availability)`` lists was the placement path's
-        remaining per-VM Python loop.
+        The primary pool (unallocated capacity) is a *persistent*
+        :class:`ShardedCandidateIndex` over the cluster's VMs:
+        :meth:`~repro.cluster.shards.ShardedCandidateIndex.refresh`
+        re-reads only the rows whose VM ``state_version`` moved since
+        the last call, so a slot that touched two shards recomputes two
+        shards rather than rebuilding an ``(n_vms, l)`` matrix from
+        Python attribute reads.  The opportunistic pool (unlocked
+        predicted unused) is per-window scheduler bookkeeping and is
+        rebuilt each call as before.  Both pools are updated
+        incrementally (``consume``) as placements land within the call.
         """
         if not pending:
             return []
@@ -346,17 +376,36 @@ class ProvisioningSchedulerBase(Scheduler):
             and not self._degraded
             and self.opportunistic_allowed()
         )
-        online = [vm for vm in self.vms if vm.online]
-        self._primary_pool = CandidateSet(
-            online, np.array([vm.unallocated_array() for vm in online])
-        )
+        scale = self.sim.config.scale
+        vms = self.sim.vms
+        index = self._primary_index
+        if (
+            index is None
+            or index.source_vms is not vms
+            or index.n_shards != scale.shards
+        ):
+            index = self._primary_index = ShardedCandidateIndex.for_vms(
+                vms, shards=scale.shards
+            )
+        touched = index.refresh()
+        if OBS.enabled:
+            OBS.count("shards.touched", touched)
+            OBS.count("shards.skipped", index.n_shards - touched)
+        self._primary_pool = index
         opp_vms = [
-            vm for vm in online if vm.vm_id in self._available_unused
+            vm for vm in vms if vm.online and vm.vm_id in self._available_unused
         ]
-        self._opp_pool = CandidateSet(
-            opp_vms,
-            np.array([self._available_unused[vm.vm_id] for vm in opp_vms]),
+        opp_matrix = (
+            np.array([self._available_unused[vm.vm_id] for vm in opp_vms])
+            if opp_vms
+            else np.zeros((0, NUM_RESOURCES))
         )
+        if scale.shards > 1:
+            self._opp_pool = ShardedCandidateIndex(
+                opp_vms, opp_matrix, shards=scale.shards
+            )
+        else:
+            self._opp_pool = CandidateSet(opp_vms, opp_matrix)
         for entity in self.make_entities(pending):
             placed.extend(
                 self._place_entity_units(entity, slot, allow_opportunistic)
@@ -396,7 +445,7 @@ class ProvisioningSchedulerBase(Scheduler):
                     placed.append(job)
         return placed
 
-    def _opportunistic_candidates(self) -> CandidateSet:
+    def _opportunistic_candidates(self) -> "CandidateSet | ShardedCandidateIndex":
         return self._opp_pool
 
     def _try_opportunistic(self, entity: JobEntity, slot: int) -> bool:
@@ -446,7 +495,7 @@ class ProvisioningSchedulerBase(Scheduler):
         """
         feasible = volume = None
         if candidates is not None and demand is not None:
-            if isinstance(candidates, CandidateSet):
+            if isinstance(candidates, CandidatePool):
                 feasible = candidates.feasible_count(demand)
                 chosen = candidates.availability(vm)
             else:

@@ -24,13 +24,29 @@ __all__ = [
     "min_feasible_volume",
     "select_most_matched",
     "select_random_feasible",
+    "tie_window",
     "CandidateSet",
 ]
 
 #: Feasibility slack, matching :meth:`ResourceVector.fits_within`.
 _FIT_ATOL = 1e-9
-#: Volume tie window, matching :func:`select_most_matched`'s loop.
-_TIE_ATOL = 1e-12
+#: Relative volume tie window (see :func:`tie_window`).
+_TIE_RTOL = 1e-12
+
+
+def tie_window(best: float) -> float:
+    """Width of the volume tie window around ``best``.
+
+    Relative (``1e-12 * |best|``) rather than absolute: volumes scale
+    with ``1/C'``, so an absolute ``1e-12`` window that is a genuine
+    rounding allowance at unit magnitudes becomes either meaninglessly
+    tight or spuriously wide once capacities span hyperscale ranges.  A
+    relative window makes tie-breaking scale-invariant — multiplying
+    every availability row by a constant leaves the chosen VM unchanged.
+    At ``best == 0`` the window is zero and only exact ties resolve by
+    ``vm_id``, which is the deterministic case that matters.
+    """
+    return _TIE_RTOL * abs(best)
 
 
 class CandidateSet:
@@ -51,12 +67,13 @@ class CandidateSet:
     snapshots (copies) of the current rows.
 
     Selection semantics match the scalar loop: smallest Eq. 22 volume
-    over the feasible rows, ties within ``1e-12`` broken toward the
-    lowest ``vm_id``.  (The loop applies its tie tolerance pairwise
-    against a running best, which could chain across candidates closer
-    than ``1e-12`` apart without being exactly tied; real capacity data
-    never produces such near-ties, and exact ties — the case that
-    matters for determinism — resolve identically.)
+    over the feasible rows, ties within the scale-invariant
+    :func:`tie_window` broken toward the lowest ``vm_id``.  (The loop
+    applies its tie tolerance pairwise against a running best, which
+    could chain across candidates closer than the window apart without
+    being exactly tied; real capacity data never produces such
+    near-ties, and exact ties — the case that matters for determinism —
+    resolve identically.)
     """
 
     __slots__ = ("vms", "matrix", "_ids", "_rows")
@@ -145,7 +162,7 @@ class CandidateSet:
             return None
         volumes = self.volumes(reference)
         best = volumes[mask].min()
-        tied = mask & (volumes <= best + _TIE_ATOL)
+        tied = mask & (volumes <= best + tie_window(best))
         (indices,) = np.nonzero(tied)
         return self.vms[indices[np.argmin(self._ids[indices])]]
 
@@ -224,10 +241,13 @@ def select_most_matched(
         if not demand.fits_within(available):
             continue
         volume = unused_volume(available, reference)
-        if volume < best_volume - 1e-12 or (
-            abs(volume - best_volume) <= 1e-12
-            and best_vm is not None
-            and vm.vm_id < best_vm.vm_id
+        if best_vm is None:
+            best_volume = volume
+            best_vm = vm
+            continue
+        tol = tie_window(best_volume)
+        if volume < best_volume - tol or (
+            abs(volume - best_volume) <= tol and vm.vm_id < best_vm.vm_id
         ):
             best_volume = volume
             best_vm = vm

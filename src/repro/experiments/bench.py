@@ -27,22 +27,30 @@ import platform
 import shutil
 import tempfile
 import time
+import tracemalloc
+from collections import deque
 from contextlib import contextmanager
 from typing import Iterable, Mapping, Sequence
+
+import numpy as np
 
 from ..cluster import _legacy
 from ..cluster.job import Job
 from ..cluster.machine import VirtualMachine
+from ..cluster.profiles import ClusterProfile
 from ..cluster.resources import ResourceVector
+from ..cluster.shards import ShardedCandidateIndex
 from ..cluster.simulator import ClusterSimulator
 from ..core.config import CorpConfig
 from ..core.predictor_store import PredictorStore
 from ..forecast.padding import AdaptivePadding
+from ..trace.generator import GoogleTraceGenerator, TraceConfig
 from .runner import PredictorCache, run_methods, run_specs, sweep_specs
 from .scenarios import JOB_COUNTS, Scenario, cluster_scenario, ec2_scenario
 
 __all__ = [
     "QUICK_COUNTS",
+    "SCALE_COUNTS",
     "PRE_PR_REFERENCE",
     "legacy_mode",
     "sweep_scenarios",
@@ -50,6 +58,8 @@ __all__ = [
     "write_benchmark",
     "run_cold_benchmark",
     "write_cold_benchmark",
+    "run_scale_benchmark",
+    "write_scale_benchmark",
     "check_regression",
 ]
 
@@ -427,6 +437,146 @@ def write_cold_benchmark(path: str, **kwargs) -> dict:
     """
     try:
         report = run_cold_benchmark(**kwargs)
+    except AssertionError as exc:
+        report = getattr(exc, "report", None)
+        if report is not None:
+            _dump(path, report)
+        raise
+    _dump(path, report)
+    return report
+
+
+#: Job counts of the hyperscale throughput curve (``--scale``).
+SCALE_COUNTS: tuple[int, ...] = (100_000, 1_000_000)
+
+#: The 1M-job point's jobs/sec must stay within 2x of the 100k point's
+#: (``ratio >= 0.5``): per-job placement cost must not grow with the
+#: total job count, i.e. the sharded index and streaming generation are
+#: O(1) in trace length.
+MIN_SCALE_LINEARITY: float = 0.5
+
+
+def _scale_vms(n_vms: int) -> list[VirtualMachine]:
+    """First ``n_vms`` machines of a hyperscale-profile datacenter."""
+    profile = ClusterProfile.hyperscale(n_pms=-(-n_vms // 8))
+    _, vms = profile.build()
+    return vms[:n_vms]
+
+
+def run_scale_benchmark(
+    *,
+    n_vms: int = 10_000,
+    shards: int = 8,
+    chunk_size: int = 4096,
+    job_counts: Sequence[int] = SCALE_COUNTS,
+    seed: int = 7,
+    track_memory: bool = True,
+    assert_floors: bool = True,
+) -> dict:
+    """Placement-engine throughput at hyperscale: jobs/sec vs job count.
+
+    Drives the sharded availability index directly — a hyperscale VM
+    pool, a static :class:`ShardedCandidateIndex` over its capacity
+    matrix, and a stream of trace demands from
+    :meth:`GoogleTraceGenerator.generate_chunks` — so the number
+    isolates the Eq. 22 selection + consume/release cycle (the per-slot
+    hot path at 10k VMs) from the full simulator's per-slot bookkeeping.
+    Each record is placed on its most-matched VM and consumed; once more
+    than ``2 * n_vms`` placements are in flight the oldest is released,
+    modelling short-lived jobs completing at the arrival rate.
+
+    The trace is never materialized: chunks of ``chunk_size`` records
+    are generated, placed and dropped, so a 1M-job point holds only one
+    chunk plus the index in memory.  With ``track_memory`` the point
+    records its ``tracemalloc`` peak as evidence (CI asserts a ceiling
+    on it; the tracing overhead inflates wall-clock equally across
+    points, so the linearity ratio is unaffected).
+
+    With ``assert_floors`` (and at least two job counts) the last
+    point's jobs/sec must be at least ``MIN_SCALE_LINEARITY`` of the
+    first's.  The raised :class:`AssertionError` carries ``.report``.
+    """
+    vms = _scale_vms(n_vms)
+    capacity = np.array([vm.capacity.as_array() for vm in vms])
+    reference = ResourceVector(capacity.max(axis=0))
+    points: list[dict] = []
+    for count in job_counts:
+        index = ShardedCandidateIndex(vms, capacity.copy(), shards=shards)
+        generator = GoogleTraceGenerator(
+            TraceConfig(n_jobs=int(count), seed=seed)
+        )
+        inflight: deque[tuple[VirtualMachine, np.ndarray]] = deque()
+        placed = rejected = 0
+        peak_mem_mb = None
+        if track_memory:
+            tracemalloc.start()
+        t0 = time.perf_counter()
+        for chunk in generator.generate_chunks(chunk_size):
+            for record in chunk:
+                demand = record.requested
+                vm = index.select_most_matched(demand, reference)
+                if vm is None:
+                    rejected += 1
+                    continue
+                amount = demand.as_array()
+                index.consume(vm, amount)
+                inflight.append((vm, amount))
+                placed += 1
+                if len(inflight) > 2 * n_vms:
+                    old_vm, old_amount = inflight.popleft()
+                    index.release(old_vm, old_amount)
+        elapsed = time.perf_counter() - t0
+        if track_memory:
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            peak_mem_mb = round(peak / 1e6, 2)
+        points.append(
+            {
+                "jobs": int(count),
+                "elapsed_s": round(elapsed, 3),
+                "jobs_per_sec": round(count / elapsed, 1),
+                "placed": placed,
+                "rejected": rejected,
+                "peak_mem_mb": peak_mem_mb,
+            }
+        )
+    report = {
+        "benchmark": "scale",
+        "machine": f"{platform.machine()}, {os.cpu_count()} cores",
+        "python": platform.python_version(),
+        "n_vms": n_vms,
+        "shards": shards,
+        "chunk_size": chunk_size,
+        "seed": seed,
+        "track_memory": track_memory,
+        "points": points,
+    }
+    if len(points) >= 2:
+        ratio = points[-1]["jobs_per_sec"] / points[0]["jobs_per_sec"]
+        report["linearity"] = {
+            "ratio": round(ratio, 3),
+            "floor": MIN_SCALE_LINEARITY,
+            "ok": ratio >= MIN_SCALE_LINEARITY,
+        }
+        if assert_floors and not report["linearity"]["ok"]:
+            error = AssertionError(
+                f"throughput at {points[-1]['jobs']} jobs is "
+                f"{ratio:.2f}x of the {points[0]['jobs']}-job point "
+                f"(floor {MIN_SCALE_LINEARITY:.2f}x)"
+            )
+            error.report = report
+            raise error
+    return report
+
+
+def write_scale_benchmark(path: str, **kwargs) -> dict:
+    """Run the hyperscale benchmark and write the JSON report to ``path``.
+
+    Like :func:`write_benchmark`, the report is written even when the
+    linearity floor fails.
+    """
+    try:
+        report = run_scale_benchmark(**kwargs)
     except AssertionError as exc:
         report = getattr(exc, "report", None)
         if report is not None:

@@ -42,6 +42,7 @@ from ..cluster.simulator import ClusterSimulator, SimulationResult
 from .kernel import SchedulerKernel
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..cluster.shards import ScaleConfig
     from ..core.config import CorpConfig
     from ..experiments.runner import PredictorCache
     from ..experiments.scenarios import Scenario
@@ -359,6 +360,7 @@ def open_service(
     predictor: "str | Predictor" = "corp",
     fault_plan: "FaultPlan | None" = None,
     auto_advance: bool = False,
+    scale: "ScaleConfig | None" = None,
 ) -> SchedulerService:
     """A ready-to-start :class:`SchedulerService` (async context manager).
 
@@ -367,8 +369,10 @@ def open_service(
     randomized baselines), so match it with the batch entry points when
     comparing runs.  ``fault_plan=`` attaches a seeded fault schedule
     the service replays while jobs stream in.  ``predictor=`` selects
-    the registered forecasting family (or instance) CORP runs on.  The
-    heavy lifting (offline predictor fit) happens on
+    the registered forecasting family (or instance) CORP runs on, and
+    ``scale=`` the hyperscale knobs (availability-index shards,
+    streaming chunk size).  The heavy lifting (offline predictor fit)
+    happens on
     ``start``/``__aenter__``, through ``predictor_cache`` when given —
     pass a store-backed cache to share fitted models across service
     instances and processes.
@@ -386,6 +390,7 @@ def open_service(
         scenario = builder(jobs, seed=seed)
     if fault_plan is not None:
         scenario = scenario.with_fault_plan(fault_plan)
+    scenario = scenario.with_scale(scale)
     return SchedulerService(
         scenario=scenario,
         method=method,

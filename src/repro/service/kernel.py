@@ -287,7 +287,14 @@ class SchedulerKernel:
             sim.rejected.append(job)
 
     def _run_tick(self, slot: int) -> None:
-        """The slot pipeline (old loop steps 2-5, verbatim semantics)."""
+        """The slot pipeline (old loop steps 2-5, verbatim semantics).
+
+        Scale note: every VM mutation this tick performs (placements
+        landing, completions, fault evictions) bumps the VM's
+        ``state_version``, so the next ``place_jobs`` refresh of the
+        persistent sharded availability index recomputes only the
+        shards this slot actually touched.
+        """
         sim = self.sim
 
         # scheduling (the timed decision path)
@@ -325,8 +332,12 @@ class SchedulerKernel:
             total_committed += outcome.committed.as_array()
         sim.metrics.record_arrays(total_demand, total_committed)
 
-        # completions
+        # completions — VMs with no placements cannot have completed
+        # anything; skipping them keeps this sweep proportional to the
+        # occupied VMs rather than the cluster size (10k+ at hyperscale).
         for vm in sim.vms:
+            if not vm.placements:
+                continue
             for job in vm.remove_completed():
                 sim.slo_tracker.record(job)
                 sim.completed.append(job)

@@ -24,7 +24,8 @@ packing strategy of Section III-B consequential.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -135,11 +136,19 @@ class GoogleTraceGenerator:
         self.config = config or TraceConfig()
 
     # ------------------------------------------------------------------
-    def generate(self) -> Trace:
-        """Produce the full synthetic trace (deterministic in the seed)."""
+    def iter_records(self) -> Iterator[TaskRecord]:
+        """Stream the trace's records one at a time (submit-time order).
+
+        Draws the same rng sequence as a full :meth:`generate` — the
+        submit times up front (one ``(n_jobs,)`` array, the only O(n)
+        allocation), then each task's draws in task order — so the
+        streamed records are byte-identical to the materialized trace.
+        Million-job workloads can be consumed chunk by chunk
+        (:meth:`generate_chunks`) without ever holding every record's
+        usage matrix in memory at once.
+        """
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
-        records: list[TaskRecord] = []
         if cfg.arrival_span_s is not None:
             # Fixed-span arrivals: job count controls cluster density.
             submit_times = np.sort(rng.uniform(0.0, cfg.arrival_span_s, cfg.n_jobs))
@@ -149,15 +158,36 @@ class GoogleTraceGenerator:
             submit_times = np.cumsum(gaps)
         for task_id in range(cfg.n_jobs):
             is_short = bool(rng.random() < cfg.short_fraction)
-            records.append(
-                self._generate_task(
-                    task_id=task_id,
-                    submit_time_s=float(submit_times[task_id]),
-                    is_short=is_short,
-                    rng=rng,
-                )
+            yield self._generate_task(
+                task_id=task_id,
+                submit_time_s=float(submit_times[task_id]),
+                is_short=is_short,
+                rng=rng,
             )
-        return Trace(records)
+
+    def generate_chunks(
+        self, chunk_size: int = 4096
+    ) -> Iterator[list[TaskRecord]]:
+        """Stream the trace as lists of at most ``chunk_size`` records.
+
+        The streaming shape the hyperscale drivers consume (the
+        ``--scale`` benchmark, ``ScaleConfig.chunk_size``): peak memory
+        is one chunk of records, not the whole workload.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        chunk: list[TaskRecord] = []
+        for record in self.iter_records():
+            chunk.append(record)
+            if len(chunk) >= chunk_size:
+                yield chunk
+                chunk = []
+        if chunk:
+            yield chunk
+
+    def generate(self) -> Trace:
+        """Produce the full synthetic trace (deterministic in the seed)."""
+        return Trace(list(self.iter_records()))
 
     # ------------------------------------------------------------------
     def _generate_task(

@@ -347,3 +347,46 @@ class TestSinkHygiene:
             with api.capture_events(MemorySink()):
                 raise RuntimeError("boom")
         assert OBS.sink is None and not OBS.enabled
+
+
+class TestScaleConfigThreading:
+    """``scale=`` reaches the simulator and never changes the answer."""
+
+    def test_sharded_run_matches_default(self, small_scenario):
+        base = api.run_one(scenario=small_scenario, method="RCCR")
+        sharded = api.run_one(
+            scenario=small_scenario,
+            method="RCCR",
+            scale=api.ScaleConfig(shards=3),
+        )
+        expect = base.summary()
+        got = sharded.summary()
+        # Wall-clock is the one legitimately nondeterministic field.
+        expect.pop("allocation_latency_s")
+        got.pop("allocation_latency_s")
+        assert got == expect
+
+    def test_sharded_placements_match_default(self, small_scenario):
+        streams = []
+        for scale in (None, api.ScaleConfig(shards=4)):
+            sink = MemorySink()
+            api.attach_sink(sink)
+            try:
+                api.run_one(
+                    scenario=small_scenario, method="RCCR", scale=scale
+                )
+            finally:
+                api.detach_sink()
+            streams.append([
+                (e.fields["slot"], e.fields["job"], e.fields["vm"])
+                for e in sink.named("placement")
+            ])
+            assert streams[-1], "run emitted no placement events"
+        assert streams[0] == streams[1]
+
+    def test_scale_is_keyword_only_and_validated(self, small_scenario):
+        with pytest.raises(ValueError):
+            api.ScaleConfig(shards=0)
+        scenario = small_scenario.with_scale(api.ScaleConfig(shards=2))
+        assert scenario.sim_config.scale.shards == 2
+        assert small_scenario.with_scale(None) is small_scenario

@@ -37,6 +37,7 @@ EXPECTED_ALL = (
     "PredictorCache",
     "PredictorStore",
     "default_store_dir",
+    "ScaleConfig",
     "Scenario",
     "SimulationResult",
     "METHOD_ORDER",
@@ -51,6 +52,7 @@ EXPECTED_KINDS = {
     "RetryPolicy": "type",
     "PredictorCache": "type",
     "PredictorStore": "type",
+    "ScaleConfig": "type",
     "Scenario": "type",
     "SimulationResult": "type",
     "METHOD_ORDER": "tuple",
@@ -58,15 +60,15 @@ EXPECTED_KINDS = {
 
 #: name -> the exact ``inspect.signature`` string.
 EXPECTED_SIGNATURES = {
-    'compare': '(*, scenario: \'Scenario | None\' = None, jobs: \'int\' = 200, testbed: \'str\' = \'cluster\', seed: \'int\' = 7, methods: \'Iterable[str]\' = (\'CORP\', \'RCCR\', \'CloudScale\', \'DRA\'), workers: \'int\' = 0, predictor_cache: \'PredictorCache | None\' = None, predictor: "\'str | Predictor\'" = \'corp\', fault_plan: \'FaultPlan | None\' = None) -> \'dict[str, SimulationResult]\'',
-    'sweep': '(*, scenarios: \'Sequence[Scenario]\', methods: \'Iterable[str]\' = (\'CORP\', \'RCCR\', \'CloudScale\', \'DRA\'), seed: \'int\' = 0, corp_config: \'CorpConfig | None\' = None, workers: \'int\' = 0, predictor_cache: \'PredictorCache | None\' = None, predictor: "\'str | Predictor\'" = \'corp\', fault_plan: \'FaultPlan | None\' = None) -> \'list[SimulationResult]\'',
-    'run_one': '(*, scenario: \'Scenario\', method: \'str\', seed: \'int\' = 0, corp_config: \'CorpConfig | None\' = None, predictor_cache: \'PredictorCache | None\' = None, predictor: "\'str | Predictor\'" = \'corp\', fault_plan: \'FaultPlan | None\' = None) -> \'SimulationResult\'',
+    'compare': '(*, scenario: \'Scenario | None\' = None, jobs: \'int\' = 200, testbed: \'str\' = \'cluster\', seed: \'int\' = 7, methods: \'Iterable[str]\' = (\'CORP\', \'RCCR\', \'CloudScale\', \'DRA\'), workers: \'int\' = 0, predictor_cache: \'PredictorCache | None\' = None, predictor: "\'str | Predictor\'" = \'corp\', fault_plan: \'FaultPlan | None\' = None, scale: \'ScaleConfig | None\' = None) -> \'dict[str, SimulationResult]\'',
+    'sweep': '(*, scenarios: \'Sequence[Scenario]\', methods: \'Iterable[str]\' = (\'CORP\', \'RCCR\', \'CloudScale\', \'DRA\'), seed: \'int\' = 0, corp_config: \'CorpConfig | None\' = None, workers: \'int\' = 0, predictor_cache: \'PredictorCache | None\' = None, predictor: "\'str | Predictor\'" = \'corp\', fault_plan: \'FaultPlan | None\' = None, scale: \'ScaleConfig | None\' = None) -> \'list[SimulationResult]\'',
+    'run_one': '(*, scenario: \'Scenario\', method: \'str\', seed: \'int\' = 0, corp_config: \'CorpConfig | None\' = None, predictor_cache: \'PredictorCache | None\' = None, predictor: "\'str | Predictor\'" = \'corp\', fault_plan: \'FaultPlan | None\' = None, scale: \'ScaleConfig | None\' = None) -> \'SimulationResult\'',
     'profile_run': '(*, jobs: \'int\' = 50, testbed: \'str\' = \'cluster\', seed: \'int\' = 7, methods: \'Iterable[str]\' = (\'CORP\', \'RCCR\', \'CloudScale\', \'DRA\'), predictor_cache: \'PredictorCache | None\' = None, predictor_cache_size: \'int\' = 16, predictor: "\'str | Predictor\'" = \'corp\', events: \'str | None\' = None) -> \'dict\'',
     'check_run': '(*, scenario: \'Scenario | None\' = None, jobs: \'int\' = 200, testbed: \'str\' = \'cluster\', seed: \'int\' = 7, methods: \'Iterable[str]\' = (\'CORP\', \'RCCR\', \'CloudScale\', \'DRA\'), predictor_cache: \'PredictorCache | None\' = None, predictor: "\'str | Predictor\'" = \'corp\', fault_plan: \'FaultPlan | None\' = None, rules: \'Iterable[str] | None\' = None, tolerance: \'float\' = 1e-06, differential: \'bool\' = False, events: \'str | None\' = None) -> "\'CheckReport\'"',
     'replay': '(*, events: \'str\', methods: \'Iterable[str] | None\' = None, tolerance: \'float\' = 1e-09, max_mismatches: \'int\' = 100) -> "\'ReplayReport\'"',
     'inject': "(*, scenario: 'Scenario', plan: 'FaultPlan | None') -> 'Scenario'",
     'build_fault_plan': "(*, seed: 'int' = 0, n_slots: 'int' = 400, intensity: 'float' = 0.3, vm_crash_rate: 'float | None' = None, crash_downtime_slots: 'int' = 10, revocation_rate: 'float | None' = None, revocation_fraction: 'float' = 0.5, revocation_duration_slots: 'int' = 8, outage_rate: 'float | None' = None, outage_duration_slots: 'int' = 10, job_failure_rate: 'float | None' = None, retry: 'RetryPolicy | None' = None) -> 'FaultPlan'",
-    'open_service': '(*, scenario: "\'Scenario | None\'" = None, jobs: \'int\' = 50, testbed: \'str\' = \'cluster\', seed: \'int\' = 7, method: \'str\' = \'CORP\', corp_config: "\'CorpConfig | None\'" = None, predictor_cache: "\'PredictorCache | None\'" = None, predictor: "\'str | Predictor\'" = \'corp\', fault_plan: "\'FaultPlan | None\'" = None, auto_advance: \'bool\' = False) -> \'SchedulerService\'',
+    'open_service': '(*, scenario: "\'Scenario | None\'" = None, jobs: \'int\' = 50, testbed: \'str\' = \'cluster\', seed: \'int\' = 7, method: \'str\' = \'CORP\', corp_config: "\'CorpConfig | None\'" = None, predictor_cache: "\'PredictorCache | None\'" = None, predictor: "\'str | Predictor\'" = \'corp\', fault_plan: "\'FaultPlan | None\'" = None, auto_advance: \'bool\' = False, scale: "\'ScaleConfig | None\'" = None) -> \'SchedulerService\'',
     'takeover_run': '(*, scenario: "\'Scenario | None\'" = None, jobs: \'int\' = 40, testbed: \'str\' = \'cluster\', seed: \'int\' = 7, method: \'str\' = \'CORP\', takeover_slot: \'int | None\' = None, corp_config: "\'CorpConfig | None\'" = None, predictor_cache: "\'PredictorCache | None\'" = None, fault_plan: "\'FaultPlan | None\'" = None) -> \'TakeoverReport\'',
     'attach_sink': "(sink: 'Sink | str') -> 'Sink'",
     'detach_sink': "() -> 'None'",
