@@ -3,7 +3,11 @@
 Commands
 --------
 ``compare``   — run all four schedulers on one workload and print the
-                comparison table (a single column of the evaluation).
+                comparison table (a single column of the evaluation);
+                ``--scenario {pipeline,diurnal,storm}`` swaps in a
+                scenario-zoo family with its extra summary metrics.
+``storms``    — revocation-storm sweep: every method at every storm
+                intensity, with per-intensity resilience tables.
 ``profile``   — run a profiled comparison, print the per-stage timing
                 table and counters, and write ``PROFILE_runtime.json``.
 ``figure``    — regenerate one of the paper's figures (fig06..fig14).
@@ -132,6 +136,22 @@ def _warn_truncated(results: dict) -> None:
         )
 
 
+def _print_extra_metrics(results: dict) -> None:
+    """Scenario-family metrics table (pipeline/diurnal/storm summaries)."""
+    if not any(r.extra_metrics for r in results.values()):
+        return
+    keys = sorted(
+        {k for r in results.values() for k in (r.extra_metrics or {})}
+    )
+    rows = [
+        [method]
+        + [(r.extra_metrics or {}).get(k, float("nan")) for k in keys]
+        for method, r in results.items()
+    ]
+    print()
+    print(format_table(["method"] + keys, rows, title="scenario metrics"))
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     jobs = min(args.jobs, 30) if args.quick else args.jobs
     fault_plan = None
@@ -139,10 +159,17 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         fault_plan = api.build_fault_plan(
             seed=args.fault_seed, intensity=args.faults
         )
+    scenario = None
+    if args.scenario is not None:
+        scenario = api.build_scenario(
+            jobs=jobs, testbed=args.testbed, seed=args.seed,
+            family=args.scenario,
+        )
     cache = _make_cache(args)
     capturing = _open_events(args)
     try:
         results = api.compare(
+            scenario=scenario,
             jobs=jobs,
             testbed=args.testbed,
             seed=args.seed,
@@ -167,11 +194,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                 summary["allocation_latency_s"],
             ]
         )
+    workload = (
+        f"the {args.scenario} scenario ({args.testbed} profile)"
+        if args.scenario is not None
+        else f"the {args.testbed} profile"
+    )
     print(
         format_table(
             ["method", "utilization", "slo_rate", "err_rate", "latency_s"],
             rows,
-            title=f"{jobs} jobs on the {args.testbed} profile",
+            title=f"{jobs} jobs on {workload}",
         )
     )
     if any(r.resilience is not None for r in results.values()):
@@ -188,6 +220,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                     summary["recovery_latency_slots"],
                 ]
             )
+        if args.faults is not None:
+            res_title = (
+                f"resilience under fault intensity {args.faults:g} "
+                f"(fault seed {args.fault_seed})"
+            )
+        else:  # the scenario carries its own plan (e.g. --scenario storm)
+            res_title = "resilience under the scenario's fault plan"
         print()
         print(
             format_table(
@@ -196,10 +235,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
                     "slo_viol_faulted", "recovery_slots",
                 ],
                 fault_rows,
-                title=f"resilience under fault intensity {args.faults:g} "
-                      f"(fault seed {args.fault_seed})",
+                title=res_title,
             )
         )
+    _print_extra_metrics(results)
     if cache.store is not None:
         stats = cache.stats()
         store = stats["store"]
@@ -498,6 +537,73 @@ def _cmd_mixed(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_storms(args: argparse.Namespace) -> int:
+    """Revocation-storm sweep: every method at every storm intensity.
+
+    The storm analogue of ``compare --faults``: one shared workload
+    replayed under seeded :class:`RevocationWave` schedules of
+    increasing intensity, with the per-intensity resilience and
+    storm-recovery metrics tabulated for all four methods.
+    """
+    from .experiments.scenarios import FAULT_INTENSITIES
+
+    jobs = min(args.jobs, 30) if args.quick else args.jobs
+    intensities = (
+        tuple(args.intensities) if args.intensities else FAULT_INTENSITIES
+    )
+    methods = tuple(args.methods) if args.methods else api.METHOD_ORDER
+    base = api.build_scenario(
+        jobs=jobs, testbed=args.testbed, seed=args.seed
+    )
+    scenarios = api.storm_sweep_scenarios(
+        base, intensities=intensities, seed=args.storm_seed,
+        n_slots=args.slots,
+    )
+    results = api.sweep(
+        scenarios=scenarios,
+        methods=methods,
+        workers=args.workers,
+        predictor_cache=api.PredictorCache(),
+    )
+    print(
+        f"storm sweep: {jobs} jobs on the {args.testbed} profile, "
+        f"storm seed {args.storm_seed}, intensities "
+        f"{', '.join(f'{i:g}' for i in intensities)}"
+    )
+    for index, intensity in enumerate(intensities):
+        rows = []
+        for m, method in enumerate(methods):
+            summary = results[index * len(methods) + m].summary()
+            rows.append(
+                [
+                    method,
+                    summary["overall_utilization"],
+                    summary["slo_violation_rate"],
+                    int(summary.get("storm_waves", 0)),
+                    int(summary.get("storm_vms_hit", 0)),
+                    summary.get("storm_recovery_slots", 0.0),
+                    int(summary.get("evictions", 0)),
+                    int(summary.get("gave_up", 0)),
+                ]
+            )
+        print()
+        print(
+            format_table(
+                [
+                    "method", "utilization", "slo_rate", "waves",
+                    "vms_hit", "recovery_slots", "evictions", "gave_up",
+                ],
+                rows,
+                title=f"storm intensity {intensity:g}"
+                      + ("" if intensity > 0 else " (fault-free control)"),
+            )
+        )
+    _warn_truncated(
+        {f"run{idx}": r for idx, r in enumerate(results) if r.truncated}
+    )
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     if args.replay:
         report = api.replay(
@@ -569,48 +675,68 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 def _cmd_golden(args: argparse.Namespace) -> int:
     from .check.golden import (
+        GOLDEN_FAMILIES,
+        compute_family_golden,
         compute_golden,
         default_golden_path,
         diff_golden,
+        family_golden_path,
         load_golden,
         write_golden,
     )
 
-    path = default_golden_path(
-        args.dir, jobs=args.jobs, testbed=args.testbed, seed=args.seed
-    )
-    fresh = compute_golden(
-        jobs=args.jobs,
-        testbed=args.testbed,
-        seed=args.seed,
-        fault_intensity=args.faults,
-        fault_seed=args.fault_seed,
-    )
-    if args.update:
-        write_golden(path, fresh)
-        print(f"wrote {path} (digest {fresh['digest'][:12]})")
-        return 0
-    try:
-        recorded = load_golden(path)
-    except FileNotFoundError:
+    if args.family == "all":
+        targets = ("base",) + GOLDEN_FAMILIES
+    else:
+        targets = (args.family,)
+
+    status = 0
+    for target in targets:
+        if target == "base":
+            path = default_golden_path(
+                args.dir, jobs=args.jobs, testbed=args.testbed, seed=args.seed
+            )
+            fresh = compute_golden(
+                jobs=args.jobs,
+                testbed=args.testbed,
+                seed=args.seed,
+                fault_intensity=args.faults,
+                fault_seed=args.fault_seed,
+            )
+        else:
+            path = family_golden_path(
+                args.dir, family=target, jobs=args.jobs, seed=args.seed
+            )
+            fresh = compute_family_golden(
+                target, jobs=args.jobs, testbed=args.testbed, seed=args.seed
+            )
+        if args.update:
+            write_golden(path, fresh)
+            print(f"wrote {path} (digest {fresh['digest'][:12]})")
+            continue
+        try:
+            recorded = load_golden(path)
+        except FileNotFoundError:
+            print(
+                f"error: no golden file at {path}; record one with "
+                f"python -m repro golden --update",
+                file=sys.stderr,
+            )
+            status = max(status, 2)
+            continue
+        drift = diff_golden(recorded, fresh)
+        if not drift:
+            print(f"golden OK: {path} matches (digest {fresh['digest'][:12]})")
+            continue
+        print(f"golden DRIFT against {path}:")
+        for line in drift:
+            print(f"  {line}")
         print(
-            f"error: no golden file at {path}; record one with "
-            f"python -m repro golden --update",
-            file=sys.stderr,
+            "re-record with `python -m repro golden --update` if the "
+            "behavioural change is intentional"
         )
-        return 2
-    drift = diff_golden(recorded, fresh)
-    if not drift:
-        print(f"golden OK: {path} matches (digest {fresh['digest'][:12]})")
-        return 0
-    print(f"golden DRIFT against {path}:")
-    for line in drift:
-        print(f"  {line}")
-    print(
-        "re-record with `python -m repro golden --update` if the "
-        "behavioural change is intentional"
-    )
-    return 1
+        status = max(status, 1)
+    return status
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -786,6 +912,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="cap the job count at 30 (the CI smoke setting)",
     )
+    from .experiments.scenarios import SCENARIO_FAMILIES
+
+    compare.add_argument(
+        "--scenario", choices=SCENARIO_FAMILIES, default=None,
+        help="run a scenario-zoo family instead of the steady arrival "
+             "mix: pipeline (phased DAG submission), diurnal (day/night "
+             "arrivals with flash crowds) or storm (correlated spot "
+             "revocations at intensity 0.5)",
+    )
     _add_cache_options(compare)
     _add_predictor_option(compare)
     _add_scale_options(compare)
@@ -893,6 +1028,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.set_defaults(func=_cmd_bench)
 
+    storms = sub.add_parser(
+        "storms",
+        help="revocation-storm sweep: all methods at every storm intensity",
+    )
+    storms.add_argument("--jobs", type=int, default=200)
+    storms.add_argument(
+        "--testbed", choices=("cluster", "ec2"), default="cluster"
+    )
+    storms.add_argument("--seed", type=int, default=7)
+    storms.add_argument(
+        "--storm-seed", type=int, default=0,
+        help="seed of the revocation-wave schedule "
+             "(independent of the workload seed)",
+    )
+    storms.add_argument(
+        "--slots", type=int, default=400,
+        help="horizon (slots) the wave schedule covers (default: 400)",
+    )
+    storms.add_argument(
+        "--intensities", nargs="+", type=float, default=None,
+        metavar="I",
+        help="storm intensities to sweep (default: 0 0.25 0.5 1)",
+    )
+    storms.add_argument(
+        "--methods", nargs="+", metavar="METHOD", default=None,
+        help="restrict to a subset of the schedulers (default: all four)",
+    )
+    storms.add_argument(
+        "--workers", type=int, default=0,
+        help="fan the sweep across N worker processes (0 = in-process)",
+    )
+    storms.add_argument(
+        "--quick", action="store_true",
+        help="cap the job count at 30 (the CI smoke setting)",
+    )
+    storms.set_defaults(func=_cmd_storms)
+
     from .check.rules import ALL_RULES
 
     check = sub.add_parser(
@@ -959,6 +1131,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory of the golden files (default: tests/golden)",
     )
     from .check.golden import (
+        GOLDEN_FAMILIES,
         GOLDEN_FAULT_INTENSITY,
         GOLDEN_FAULT_SEED,
         GOLDEN_JOBS,
@@ -977,6 +1150,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault intensity of the faulted golden section",
     )
     golden.add_argument("--fault-seed", type=int, default=GOLDEN_FAULT_SEED)
+    golden.add_argument(
+        "--family",
+        choices=("all", "base") + GOLDEN_FAMILIES,
+        default="all",
+        help="which golden(s) to run: the base comparison, one scenario "
+        "family, or all of them (default)",
+    )
     golden.set_defaults(func=_cmd_golden)
 
     cache = sub.add_parser(

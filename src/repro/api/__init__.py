@@ -32,7 +32,14 @@ keyword-only entry points plus the observability attachments:
   asyncio allocation service over the event kernel (submit jobs live,
   stream placements, ``drain()`` for the final result), and the
   standby-takeover drill (a snapshot-restored kernel must finish the
-  run identically to the live one).
+  run identically to the live one);
+* the scenario zoo (v1.8) — ``family=`` on :func:`build_scenario`
+  selects ``"pipeline"`` (phased DAG submission through the streaming
+  kernel, :class:`PipelineSpec`), ``"diurnal"`` (day/night arrivals
+  with flash-crowd spikes, :class:`DiurnalPattern`) or ``"storm"``
+  (correlated spot revocations); :func:`build_revocation_storm` builds
+  seeded :class:`RevocationWave` schedules and
+  :func:`storm_sweep_scenarios` sweeps their intensity.
 
 This facade is the **only supported import surface**: deeper imports
 (``repro.experiments.runner`` and friends) may break without notice
@@ -50,8 +57,16 @@ from ..cluster.shards import ScaleConfig
 from ..cluster.simulator import SimulationResult
 from ..core.predictor_store import PredictorStore, default_store_dir
 from ..experiments.runner import METHOD_ORDER, PredictorCache
-from ..experiments.scenarios import Scenario
-from ..faults.plan import FaultPlan, RetryPolicy, build_fault_plan
+from ..experiments.scenarios import Scenario, storm_sweep_scenarios
+from ..experiments.workloads.diurnal import DiurnalPattern
+from ..experiments.workloads.pipeline import PipelineSpec
+from ..faults.plan import (
+    FaultPlan,
+    RetryPolicy,
+    RevocationWave,
+    build_fault_plan,
+    build_revocation_storm,
+)
 from ..forecast.registry import available_predictors, predictor_summaries
 from ..obs import capture_events, detach_sink
 from ._check import check_run, replay
@@ -81,6 +96,8 @@ __all__ = [
     "replay",
     "inject",
     "build_fault_plan",
+    "build_revocation_storm",
+    "storm_sweep_scenarios",
     "open_service",
     "takeover_run",
     "PlacementUpdate",
@@ -94,6 +111,9 @@ __all__ = [
     "predictor_summaries",
     "FaultPlan",
     "RetryPolicy",
+    "RevocationWave",
+    "PipelineSpec",
+    "DiurnalPattern",
     "PredictorCache",
     "PredictorStore",
     "default_store_dir",

@@ -19,7 +19,15 @@ from ..experiments.runner import (
     run_specs,
     sweep_specs,
 )
-from ..experiments.scenarios import Scenario, cluster_scenario, ec2_scenario
+from ..experiments.scenarios import (
+    SCENARIO_FAMILIES,
+    Scenario,
+    cluster_scenario,
+    diurnal_scenario,
+    ec2_scenario,
+    pipeline_scenario,
+    storm_scenario,
+)
 from ..faults.plan import FaultPlan
 from ..forecast.base import Predictor
 from ..obs import OBS, Sink
@@ -51,8 +59,16 @@ def build_scenario(
     jobs: int = 200,
     testbed: str = "cluster",
     seed: int = 7,
+    family: str | None = None,
 ) -> Scenario:
-    """A testbed scenario by name (``"cluster"`` or ``"ec2"``)."""
+    """A testbed scenario by name (``"cluster"`` or ``"ec2"``).
+
+    ``family=`` selects a scenario-zoo variant on the chosen testbed's
+    profile: ``"pipeline"`` (phased DAG submission), ``"diurnal"``
+    (day/night arrivals with flash crowds) or ``"storm"`` (spot
+    revocation waves at intensity 0.5); ``None`` is the paper's plain
+    steady-arrival scenario.
+    """
     builders = {"cluster": cluster_scenario, "ec2": ec2_scenario}
     try:
         builder = builders[testbed]
@@ -60,7 +76,22 @@ def build_scenario(
         raise ValueError(
             f"unknown testbed {testbed!r} (expected 'cluster' or 'ec2')"
         ) from None
-    return builder(jobs, seed=seed)
+    if family is None:
+        return builder(jobs, seed=seed)
+    profile = builder(1, seed=seed).profile
+    family_builders = {
+        "pipeline": pipeline_scenario,
+        "diurnal": diurnal_scenario,
+        "storm": storm_scenario,
+    }
+    try:
+        family_builder = family_builders[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario family {family!r} "
+            f"(expected one of {list(SCENARIO_FAMILIES)})"
+        ) from None
+    return family_builder(jobs, seed=seed, profile=profile)
 
 
 def _apply_fault_plan(

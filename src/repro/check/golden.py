@@ -9,6 +9,12 @@ the simulator, schedulers, predictors or fault layer into a readable
 test failure (method, metric, old vs new value) instead of a silently
 shifted benchmark number.
 
+Since v1.8 each scenario family of the zoo
+(:data:`GOLDEN_FAMILIES` — ``pipeline``, ``diurnal``, ``storm``) pins
+its own golden file alongside the base one, so the phased-submission
+barriers, the diurnal time warp and the revocation-wave storm path are
+all frozen, not just the flat-arrival run.
+
 Regenerate after an *intentional* behavioural change with::
 
     PYTHONPATH=src python -m repro golden --update
@@ -26,9 +32,12 @@ __all__ = [
     "GOLDEN_SEED",
     "GOLDEN_FAULT_INTENSITY",
     "GOLDEN_FAULT_SEED",
+    "GOLDEN_FAMILIES",
     "NONDETERMINISTIC_KEYS",
     "default_golden_path",
+    "family_golden_path",
     "compute_golden",
+    "compute_family_golden",
     "golden_digest",
     "diff_golden",
     "write_golden",
@@ -43,10 +52,20 @@ GOLDEN_TESTBED = "cluster"
 GOLDEN_FAULT_INTENSITY = 0.5
 GOLDEN_FAULT_SEED = 0
 
+#: Scenario families with their own committed golden file each
+#: (``{family}_j{jobs}_seed{seed}.json``).  Mirrors
+#: :data:`repro.experiments.scenarios.SCENARIO_FAMILIES`.
+GOLDEN_FAMILIES = ("pipeline", "diurnal", "storm")
+
 
 def default_golden_path(directory: str, *, jobs: int, testbed: str, seed: int) -> str:
     """Canonical file name for one golden parameter set."""
     return os.path.join(directory, f"{testbed}_j{jobs}_seed{seed}.json")
+
+
+def family_golden_path(directory: str, *, family: str, jobs: int, seed: int) -> str:
+    """Canonical file name for one scenario-family golden."""
+    return os.path.join(directory, f"{family}_j{jobs}_seed{seed}.json")
 
 
 #: Summary keys measured from the wall clock — different on every run,
@@ -111,14 +130,59 @@ def compute_golden(
     return payload
 
 
+def compute_family_golden(
+    family: str,
+    *,
+    jobs: int = GOLDEN_JOBS,
+    testbed: str = GOLDEN_TESTBED,
+    seed: int = GOLDEN_SEED,
+) -> dict:
+    """Run one scenario-family comparison and build its golden payload.
+
+    The payload's single ``summaries`` section carries the family's
+    extra metrics (``pipeline_stall_slots``, ``flash_crowd_p99_wait``,
+    ``storm_*``) through :meth:`SimulationResult.summary`, so the
+    phased barriers, the time warp and the wave schedule are all under
+    the digest.  The storm family runs its builder's default seeded
+    plan at intensity :data:`GOLDEN_FAULT_INTENSITY`.
+    """
+    from .. import api
+
+    if family not in GOLDEN_FAMILIES:
+        raise ValueError(
+            f"unknown golden family {family!r}; expected one of {GOLDEN_FAMILIES}"
+        )
+    scenario = api.build_scenario(
+        jobs=jobs, testbed=testbed, seed=seed, family=family
+    )
+    results = api.compare(scenario=scenario)
+    payload: dict = {
+        "meta": {
+            "family": family,
+            "jobs": jobs,
+            "testbed": testbed,
+            "seed": seed,
+            "methods": list(api.METHOD_ORDER),
+            "precision": "10 significant digits",
+        },
+        "summaries": _rounded_summaries(results),
+    }
+    payload["digest"] = golden_digest(payload)
+    return payload
+
+
 def diff_golden(recorded: dict, fresh: dict) -> list[str]:
     """Readable drift lines between a committed and a fresh payload.
 
-    Values are compared exactly — both sides passed through the same
+    Sections are discovered from the payloads themselves (``fault_free``
+    and ``faulted`` for the base golden, ``summaries`` for the family
+    goldens), so one differ serves every golden shape.  Values are
+    compared exactly — both sides passed through the same
     10-significant-digit rounding, and the runs are deterministic.
     """
     lines: list[str] = []
-    for section in ("fault_free", "faulted"):
+    sections = sorted((set(recorded) | set(fresh)) - {"meta", "digest"})
+    for section in sections:
         old = recorded.get(section, {})
         new = fresh.get(section, {})
         for method in sorted(set(old) | set(new)):

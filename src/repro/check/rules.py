@@ -26,6 +26,11 @@ Each rule encodes one of the paper's stated guarantees:
     Eq. 22 optimality: when the scheduler selects by unused-resource
     volume, the chosen VM minimizes that volume over the feasible set it
     was offered.
+``pipeline``
+    Phase ordering for DAG/pipeline scenarios: when a pipeline phase is
+    submitted, no job of any earlier phase may still be live (queued,
+    running or in retry backoff) — the "phase N completes before phase
+    N+1 submits" DAG edge, checked at the submission barrier.
 ``differential``
     Opt-in reference-vs-vectorized diff (the PR 1 property test as a
     runtime tool): every slot of every VM is re-derived with the
@@ -71,6 +76,7 @@ ALL_RULES: tuple[str, ...] = (
     "gate",
     "packing",
     "volume",
+    "pipeline",
     "differential",
 )
 
@@ -82,6 +88,7 @@ DEFAULT_RULES: tuple[str, ...] = (
     "gate",
     "packing",
     "volume",
+    "pipeline",
 )
 
 
@@ -437,6 +444,47 @@ class InvariantChecker:
                         slot=slot, scheduler=name, vm=vm.vm_id,
                         job=entity.job_ids()[0],
                     )
+
+    # ------------------------------------------------------------------
+    # pipeline-barrier hook
+    # ------------------------------------------------------------------
+    def observe_pipeline_submission(
+        self,
+        sim: "ClusterSimulator",
+        *,
+        phase: int,
+        slot: int,
+        job_phase: dict[int, int],
+    ) -> None:
+        """DAG edge: no earlier-phase job may be live at a phase barrier.
+
+        Called by the pipeline driver right before it submits phase
+        ``phase``.  ``job_phase`` maps job id → phase index; jobs of
+        phases ``< phase`` found queued, running or backed off mean the
+        gate released the next phase early.
+        """
+        if "pipeline" not in self.rules:
+            return
+        self.checks["pipeline"] += 1
+        backlog = [] if sim.faults is None else sim.faults.backlog_jobs()
+        live = list(sim.pending) + list(sim.running) + list(backlog)
+        stale = [
+            job
+            for job in live
+            if job_phase.get(job.job_id, phase) < phase
+        ]
+        if stale:
+            worst = min(stale, key=lambda j: j.job_id)
+            self._report(
+                "pipeline",
+                f"phase {phase} submitted with {len(stale)} job(s) of "
+                f"earlier phases still live (e.g. job {worst.job_id} of "
+                f"phase {job_phase[worst.job_id]}) — the phase-ordering "
+                f"DAG edge is broken",
+                slot=slot,
+                scheduler=sim.scheduler.name,
+                job=worst.job_id,
+            )
 
     # ------------------------------------------------------------------
     # preemption-gate hook

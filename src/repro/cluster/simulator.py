@@ -86,6 +86,10 @@ class SimulationResult:
     #: such summaries cover an incomplete run and must not be read as a
     #: completed one.
     truncated: bool = False
+    #: Scenario-family metrics (``pipeline_stall_slots``,
+    #: ``flash_crowd_p99_wait``, ...) attached by the workload drivers;
+    #: ``None`` for plain runs so their summaries stay byte-identical.
+    extra_metrics: Optional[dict[str, float]] = None
 
     @property
     def all_done(self) -> bool:
@@ -115,6 +119,8 @@ class SimulationResult:
         # golden traces) stay byte-identical to pre-v1.5 output.
         if self.truncated:
             out["truncated"] = 1.0
+        if self.extra_metrics:
+            out.update(self.extra_metrics)
         return out
 
 

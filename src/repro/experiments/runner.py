@@ -32,6 +32,8 @@ from ..obs import OBS
 from ..obs.events import Event, JsonlSink, read_jsonl
 from ..trace.records import Trace
 from .scenarios import Scenario
+from .workloads.diurnal import flash_crowd_p99_wait
+from .workloads.pipeline import run_pipeline
 
 __all__ = [
     "PredictorCache",
@@ -259,7 +261,25 @@ def run_scenario(
     eval_trace = trace if trace is not None else scenario.evaluation_trace()
     hist_trace = history if history is not None else scenario.history_trace()
     with OBS.span(f"run:{scheduler.name}"):
-        return sim.run(eval_trace, history=hist_trace)
+        if scenario.pipeline is not None:
+            result = run_pipeline(
+                sim, scenario.pipeline, eval_trace, history=hist_trace
+            )
+        else:
+            result = sim.run(eval_trace, history=hist_trace)
+    if scenario.arrival_pattern is not None:
+        span = max((r.submit_time_s for r in eval_trace), default=0.0)
+        wait = flash_crowd_p99_wait(
+            result.jobs,
+            scenario.arrival_pattern,
+            span,
+            scenario.sim_config.slot_duration_s,
+        )
+        result.extra_metrics = {
+            **(result.extra_metrics or {}),
+            "flash_crowd_p99_wait": wait,
+        }
+    return result
 
 
 def run_methods(

@@ -18,17 +18,24 @@ from ..cluster.profiles import ClusterProfile
 from ..cluster.shards import ScaleConfig
 from ..cluster.simulator import SimulationConfig
 from ..cluster.slo import SloSpec
-from ..faults.plan import FaultPlan, build_fault_plan
+from ..faults.plan import FaultPlan, build_fault_plan, build_revocation_storm
 from ..trace.filters import remove_long_lived
 from ..trace.generator import GoogleTraceGenerator, TraceConfig
 from ..trace.records import Trace
 from ..trace.transform import resample_trace
+from .workloads.diurnal import DiurnalPattern, apply_diurnal
+from .workloads.pipeline import PipelineSpec
 
 __all__ = [
     "Scenario",
     "cluster_scenario",
     "ec2_scenario",
+    "pipeline_scenario",
+    "diurnal_scenario",
+    "storm_scenario",
     "fault_sweep_scenarios",
+    "storm_sweep_scenarios",
+    "SCENARIO_FAMILIES",
     "JOB_COUNTS",
     "FAULT_INTENSITIES",
 ]
@@ -47,6 +54,9 @@ DEFAULT_HISTORY_JOBS: int = 400
 
 #: Default fault-intensity sweep (0 = the fault-free control point).
 FAULT_INTENSITIES: tuple[float, ...] = (0.0, 0.25, 0.5, 1.0)
+
+#: Scenario-family names the CLI's ``--scenario`` flag accepts.
+SCENARIO_FAMILIES: tuple[str, ...] = ("pipeline", "diurnal", "storm")
 
 
 @dataclass(frozen=True)
@@ -69,6 +79,12 @@ class Scenario:
     #: scheduler that runs this scenario.  ``None`` (and the empty plan)
     #: mean a fault-free run, byte-identical to the pre-fault layer.
     fault_plan: FaultPlan | None = None
+    #: Pipeline family: split the trace into phases submitted through
+    #: the streaming kernel with the phase-N-completes-first DAG edge.
+    pipeline: PipelineSpec | None = None
+    #: Diurnal family: warp arrival times onto a day/night curve with
+    #: flash-crowd spikes (applied inside :meth:`evaluation_trace`).
+    arrival_pattern: DiurnalPattern | None = None
 
     def with_fault_plan(self, plan: FaultPlan | None) -> "Scenario":
         """A copy of this scenario running under ``plan`` (or without)."""
@@ -109,12 +125,16 @@ class Scenario:
         if self.n_jobs < master:
             idx = np.round(np.linspace(0, master - 1, self.n_jobs)).astype(int)
             records = [records[i] for i in idx]
+        if self.arrival_pattern is not None:
+            # Warp arrivals onto the diurnal clock *before* resampling:
+            # the warp only rewrites submit times, the resample only
+            # rewrites usage series, so the two compose cleanly.
+            records = apply_diurnal(records, self.arrival_pattern)
         return resample_trace(
             Trace(records),
             self.sim_config.slot_duration_s,
             seed=cfg.seed,
         )
-
     def history_trace(self) -> Trace:
         """Historical trace for the offline (model-fitting) phase."""
         raw = GoogleTraceGenerator(self.history_config).generate()
@@ -237,3 +257,110 @@ def ec2_scenario(
         history_config=_history_config(seed),
         sim_config=SimulationConfig(slo=SloSpec(slack_factor=slo_slack)),
     )
+
+
+# ----------------------------------------------------------------------
+# Scenario-zoo families (beyond the paper's steady arrival mix).
+# ----------------------------------------------------------------------
+
+
+def pipeline_scenario(
+    n_jobs: int = 300,
+    *,
+    seed: int = 7,
+    n_phases: int = 3,
+    conflict_window_slots: int = 2,
+    profile: ClusterProfile | None = None,
+) -> Scenario:
+    """DAG/pipeline family: phased submission with conflict windows."""
+    base = cluster_scenario(n_jobs, seed=seed, profile=profile)
+    return replace(
+        base,
+        name=f"pipeline-{n_phases}x-{n_jobs}jobs",
+        pipeline=PipelineSpec(
+            n_phases=n_phases,
+            conflict_window_slots=conflict_window_slots,
+        ),
+    )
+
+
+def diurnal_scenario(
+    n_jobs: int = 300,
+    *,
+    seed: int = 7,
+    pattern: DiurnalPattern | None = None,
+    profile: ClusterProfile | None = None,
+) -> Scenario:
+    """Diurnal family: day/night arrival curve with flash-crowd spikes.
+
+    The pattern's spike placement is seeded from the scenario seed by
+    default, so the whole scenario stays a function of one seed.
+    """
+    base = cluster_scenario(n_jobs, seed=seed, profile=profile)
+    return replace(
+        base,
+        name=f"diurnal-{n_jobs}jobs",
+        arrival_pattern=pattern or DiurnalPattern(seed=seed),
+    )
+
+
+def storm_scenario(
+    n_jobs: int = 300,
+    *,
+    seed: int = 7,
+    intensity: float = 0.5,
+    storm_seed: int = 0,
+    n_slots: int = 400,
+    profile: ClusterProfile | None = None,
+) -> Scenario:
+    """Spot-revocation-storm family: correlated VM-cohort loss.
+
+    ``intensity 0`` carries no plan (the fault-free control point),
+    mirroring :func:`fault_sweep_scenarios`.
+    """
+    base = cluster_scenario(n_jobs, seed=seed, profile=profile)
+    plan = (
+        build_revocation_storm(
+            seed=storm_seed, n_slots=n_slots, intensity=intensity
+        )
+        if intensity > 0
+        else None
+    )
+    return replace(
+        base,
+        name=f"storm-{intensity:g}-{n_jobs}jobs",
+        fault_plan=plan,
+    )
+
+
+def storm_sweep_scenarios(
+    base: Scenario,
+    *,
+    intensities: Sequence[float] = FAULT_INTENSITIES,
+    seed: int = 0,
+    n_slots: int = 400,
+) -> list[Scenario]:
+    """``base`` replayed under revocation storms of increasing intensity.
+
+    The storm analogue of :func:`fault_sweep_scenarios`: same workload
+    at every point, correlated :class:`~repro.faults.plan.RevocationWave`
+    cohorts instead of independent faults (intensity ``0`` carries no
+    plan — the fault-free control).
+    """
+    out: list[Scenario] = []
+    for intensity in intensities:
+        plan = (
+            build_revocation_storm(
+                seed=seed, n_slots=n_slots, intensity=intensity
+            )
+            if intensity > 0
+            else None
+        )
+        out.append(
+            replace(
+                base,
+                name=f"{base.name}-storm{intensity:g}",
+                fault_plan=plan,
+            )
+        )
+    return out

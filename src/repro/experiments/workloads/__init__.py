@@ -1,0 +1,33 @@
+"""Scenario-family workload drivers (the "scenario zoo").
+
+Three families beyond the paper's steady arrival mix, each with its own
+summary metric:
+
+``pipeline``
+    DAG/phased workloads driven through the streaming kernel — phase
+    N+1 is only submitted once phase N completed, separated by a
+    configurable conflict window (:mod:`.pipeline`;
+    ``pipeline_stall_slots``).
+``diurnal``
+    Day/night arrival-rate curves with seeded flash-crowd spikes,
+    applied as a deterministic monotone time warp over the trace
+    (:mod:`.diurnal`; ``flash_crowd_p99_wait``).
+``storm``
+    Correlated spot-revocation storms live in :mod:`repro.faults`
+    (:class:`~repro.faults.plan.RevocationWave`,
+    :func:`~repro.faults.plan.build_revocation_storm`;
+    ``storm_recovery_slots``) — this package only re-exports the
+    scenario-side pieces.
+"""
+
+from .diurnal import DiurnalPattern, apply_diurnal, flash_crowd_p99_wait
+from .pipeline import PipelineSpec, partition_phases, run_pipeline
+
+__all__ = [
+    "DiurnalPattern",
+    "apply_diurnal",
+    "flash_crowd_p99_wait",
+    "PipelineSpec",
+    "partition_phases",
+    "run_pipeline",
+]

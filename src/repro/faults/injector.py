@@ -27,7 +27,14 @@ from typing import TYPE_CHECKING, Iterable
 
 from ..cluster.job import Job, JobState
 from ..obs import OBS
-from .plan import CapacityRevocation, FaultPlan, JobFailure, PredictorOutage, VmCrash
+from .plan import (
+    CapacityRevocation,
+    FaultPlan,
+    JobFailure,
+    PredictorOutage,
+    RevocationWave,
+    VmCrash,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from ..cluster.machine import VirtualMachine
@@ -57,6 +64,16 @@ class FaultInjector:
         #: job_id -> slot of the eviction awaiting re-placement.
         self._recovery_pending: dict[int, int] = {}
         self._recovery_latencies: list[int] = []
+        #: Same bookkeeping restricted to storm (wave) evictions, so the
+        #: summary can report how long storm victims took to land again.
+        self._wave_pending: dict[int, int] = {}
+        self._wave_recovery_latencies: list[int] = []
+        #: Storm metrics only appear in summaries for plans that carry
+        #: waves — plain fault plans keep their pre-storm summary keys
+        #: (the committed goldens pin this).
+        self._has_waves = any(
+            isinstance(e, RevocationWave) for e in plan.events
+        )
         #: Jobs that ever experienced a fault (for SLO attribution).
         self.fault_touched: set[int] = set()
         # Counters surfaced in the resilience summary.
@@ -67,6 +84,8 @@ class FaultInjector:
         self.gave_up = 0
         self.job_failures_injected = 0
         self.outage_slots = 0
+        self.storm_waves = 0
+        self.storm_vms_hit = 0
 
     # ------------------------------------------------------------------
     def has_backlog(self) -> bool:
@@ -113,6 +132,8 @@ class FaultInjector:
                 self._apply_outage(event, slot)
             elif isinstance(event, JobFailure):
                 self._apply_job_failure(event, slot, sim)
+            elif isinstance(event, RevocationWave):
+                self._apply_wave(event, slot, sim)
         if not self.predictor_available:
             self.outage_slots += 1
         self._sweep_give_up(slot, sim)
@@ -123,6 +144,9 @@ class FaultInjector:
             evicted_at = self._recovery_pending.pop(job.job_id, None)
             if evicted_at is not None:
                 self._recovery_latencies.append(slot - evicted_at)
+            wave_at = self._wave_pending.pop(job.job_id, None)
+            if wave_at is not None:
+                self._wave_recovery_latencies.append(slot - wave_at)
 
     # ------------------------------------------------------------------
     # event application
@@ -132,10 +156,21 @@ class FaultInjector:
 
     def _apply_crash(self, event: VmCrash, slot: int, sim: "ClusterSimulator") -> None:
         vm = self._vm_for(event.vm_index, sim)
+        self._crash_vm(vm, slot, event.downtime_slots, sim, reason="vm_crash")
+
+    def _crash_vm(
+        self,
+        vm: "VirtualMachine",
+        slot: int,
+        downtime_slots: int,
+        sim: "ClusterSimulator",
+        *,
+        reason: str,
+    ) -> list[Job]:
         if not vm.online:
-            return  # already down; overlapping crash is a no-op
+            return []  # already down; overlapping crash is a no-op
         evicted = vm.crash()
-        self._down_until[vm.vm_id] = slot + event.downtime_slots
+        self._down_until[vm.vm_id] = slot + downtime_slots
         self._revoked_until.pop(vm.vm_id, None)
         vm.set_capacity_scale(1.0)  # a restart clears any revocation
         self.vm_failures += 1
@@ -143,31 +178,93 @@ class FaultInjector:
             "vm_fail",
             slot=slot,
             vm=vm.vm_id,
-            downtime_slots=event.downtime_slots,
+            downtime_slots=downtime_slots,
             evicted=len(evicted),
         )
         OBS.count("faults.vm_fail")
         for job in evicted:
-            self._evict(job, slot, sim, reason="vm_crash")
+            self._evict(job, slot, sim, reason=reason)
+        return evicted
 
     def _apply_revocation(
         self, event: CapacityRevocation, slot: int, sim: "ClusterSimulator"
     ) -> None:
         vm = self._vm_for(event.vm_index, sim)
+        self._revoke_vm(vm, slot, event.fraction, event.duration_slots)
+
+    def _revoke_vm(
+        self,
+        vm: "VirtualMachine",
+        slot: int,
+        fraction: float,
+        duration_slots: int,
+    ) -> bool:
         if not vm.online:
-            return  # nothing to revoke on a crashed VM
-        vm.set_capacity_scale(1.0 - event.fraction + 1e-12 if event.fraction >= 1.0
-                              else 1.0 - event.fraction)
-        self._revoked_until[vm.vm_id] = slot + event.duration_slots
+            return False  # nothing to revoke on a crashed VM
+        vm.set_capacity_scale(1.0 - fraction + 1e-12 if fraction >= 1.0
+                              else 1.0 - fraction)
+        self._revoked_until[vm.vm_id] = slot + duration_slots
         self.capacity_revocations += 1
         OBS.emit(
             "capacity_revoked",
             slot=slot,
             vm=vm.vm_id,
-            fraction=event.fraction,
-            duration_slots=event.duration_slots,
+            fraction=fraction,
+            duration_slots=duration_slots,
         )
         OBS.count("faults.capacity_revoked")
+        return True
+
+    def _apply_wave(
+        self, event: RevocationWave, slot: int, sim: "ClusterSimulator"
+    ) -> None:
+        """Hit a whole VM cohort at once: the first ``crash_fraction``
+        of the (deduplicated) cohort crashes, the rest lose capacity.
+        Offline cohort members are skipped — a wave landing entirely on
+        dead VMs is a no-op beyond its own counters."""
+        cohort: list["VirtualMachine"] = []
+        seen: set[int] = set()
+        for index in event.vm_indices:
+            vm = self._vm_for(index, sim)
+            if vm.vm_id in seen:
+                continue  # duplicate indices (mod pool size) collapse
+            seen.add(vm.vm_id)
+            cohort.append(vm)
+        n_crash = int(round(event.crash_fraction * len(cohort)))
+        crashed = 0
+        revoked = 0
+        for position, vm in enumerate(cohort):
+            if not vm.online:
+                continue
+            if position < n_crash:
+                evicted = self._crash_vm(
+                    vm,
+                    slot,
+                    event.downtime_slots,
+                    sim,
+                    reason="revocation_wave",
+                )
+                for job in evicted:
+                    self._wave_pending[job.job_id] = slot
+                crashed += 1
+            else:
+                if self._revoke_vm(
+                    vm,
+                    slot,
+                    event.revocation_fraction,
+                    event.revocation_duration_slots,
+                ):
+                    revoked += 1
+        self.storm_waves += 1
+        self.storm_vms_hit += crashed + revoked
+        OBS.emit(
+            "revocation_wave",
+            slot=slot,
+            cohort=len(cohort),
+            crashed=crashed,
+            revoked=revoked,
+        )
+        OBS.count("faults.revocation_wave")
 
     def _apply_outage(self, event: PredictorOutage, slot: int) -> None:
         self._outage_until = max(self._outage_until, slot + event.duration_slots)
@@ -260,6 +357,7 @@ class FaultInjector:
         job.fail_permanently(slot)
         sim.failed.append(job)
         self._recovery_pending.pop(job.job_id, None)
+        self._wave_pending.pop(job.job_id, None)
         self.gave_up += 1
         OBS.emit(
             "give_up",
@@ -312,7 +410,7 @@ class FaultInjector:
         )
         latencies = self._recovery_latencies
         mean_latency = sum(latencies) / len(latencies) if latencies else 0.0
-        return {
+        stats = {
             "vm_failures": float(self.vm_failures),
             "capacity_revocations": float(self.capacity_revocations),
             "predictor_outage_slots": float(self.outage_slots),
@@ -322,3 +420,11 @@ class FaultInjector:
             "recovery_latency_slots": mean_latency,
             "slo_violations_faulted": float(violations + self.gave_up),
         }
+        if self._has_waves:
+            wave = self._wave_recovery_latencies
+            stats["storm_waves"] = float(self.storm_waves)
+            stats["storm_vms_hit"] = float(self.storm_vms_hit)
+            stats["storm_recovery_slots"] = (
+                sum(wave) / len(wave) if wave else 0.0
+            )
+        return stats

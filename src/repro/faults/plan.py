@@ -22,6 +22,13 @@ Four fault types cover the regimes the robustness axis cares about:
   under the plan's :class:`RetryPolicy` (bounded retries, exponential
   backoff, a give-up deadline matching the paper's 5-minute short-job
   horizon).
+* :class:`RevocationWave` — a correlated spot-reclamation storm: one
+  whole VM cohort is hit *at once*, a leading fraction crashed outright
+  (the spot market reclaimed the instance) and the rest squeezed by a
+  capacity revocation.  A wave is the grouped form of per-VM
+  :class:`VmCrash`/:class:`CapacityRevocation` events; the correlation
+  (everything lands in the same slot) is exactly what independent
+  per-slot sampling cannot produce.
 
 ``vm_index`` is resolved modulo the cluster's VM count at runtime, so
 one plan is portable across cluster profiles.
@@ -39,10 +46,12 @@ __all__ = [
     "CapacityRevocation",
     "PredictorOutage",
     "JobFailure",
+    "RevocationWave",
     "FaultEvent",
     "RetryPolicy",
     "FaultPlan",
     "build_fault_plan",
+    "build_revocation_storm",
 ]
 
 
@@ -127,13 +136,63 @@ class JobFailure:
         _require(self.vm_index >= 0, "vm_index must be >= 0")
 
 
-FaultEvent = Union[VmCrash, CapacityRevocation, PredictorOutage, JobFailure]
+@dataclass(frozen=True)
+class RevocationWave:
+    """A whole VM cohort reclaimed at once (a spot-market storm).
+
+    The first ``round(crash_fraction * cohort)`` distinct VMs of the
+    cohort crash outright (spot instance reclaimed: placements evicted,
+    restart after ``downtime_slots``); the remainder lose
+    ``revocation_fraction`` of their capacity for
+    ``revocation_duration_slots`` (a reclaim warning throttling the
+    host).  ``vm_indices`` fold modulo the cluster's VM count at
+    runtime, duplicates collapsing to one hit per physical VM.
+
+    An *empty* cohort makes the wave meaningless; the owning
+    :class:`FaultPlan` drops such waves at construction so a plan of
+    nothing but empty waves is exactly the empty plan (no injector, no
+    resilience keys — byte-identical to a fault-free run).
+    """
+
+    slot: int
+    vm_indices: tuple[int, ...]
+    crash_fraction: float = 0.5
+    downtime_slots: int = 10
+    revocation_fraction: float = 0.5
+    revocation_duration_slots: int = 8
+
+    def __post_init__(self) -> None:
+        _require(self.slot >= 0, "slot must be >= 0")
+        indices = tuple(int(i) for i in self.vm_indices)
+        _require(
+            all(i >= 0 for i in indices), "vm_indices must be >= 0"
+        )
+        object.__setattr__(self, "vm_indices", indices)
+        _require(
+            0.0 <= self.crash_fraction <= 1.0,
+            "crash_fraction must be in [0, 1]",
+        )
+        _require(self.downtime_slots >= 1, "downtime_slots must be >= 1")
+        _require(
+            0.0 < self.revocation_fraction <= 1.0,
+            "revocation_fraction must be in (0, 1]",
+        )
+        _require(
+            self.revocation_duration_slots >= 1,
+            "revocation_duration_slots must be >= 1",
+        )
+
+
+FaultEvent = Union[
+    VmCrash, CapacityRevocation, PredictorOutage, JobFailure, RevocationWave
+]
 
 _EVENT_TYPES: dict[str, type] = {
     "vm_crash": VmCrash,
     "capacity_revocation": CapacityRevocation,
     "predictor_outage": PredictorOutage,
     "job_failure": JobFailure,
+    "revocation_wave": RevocationWave,
 }
 _EVENT_NAMES: dict[type, str] = {cls: name for name, cls in _EVENT_TYPES.items()}
 
@@ -180,8 +239,21 @@ class FaultPlan:
     def __post_init__(self) -> None:
         # Normalize a list/generator into the canonical tuple form and
         # keep the schedule sorted by slot (stable, so same-slot events
-        # preserve their authored order).
-        events = tuple(sorted(self.events, key=lambda e: e.slot))
+        # preserve their authored order).  Waves with an empty cohort
+        # are dropped here — they can affect nothing, and keeping them
+        # would make a plan of pure no-ops truthy, building an injector
+        # whose resilience keys alone would break the "no faults means
+        # byte-identical output" invariant.
+        events = tuple(
+            sorted(
+                (
+                    e
+                    for e in self.events
+                    if not (isinstance(e, RevocationWave) and not e.vm_indices)
+                ),
+                key=lambda e: e.slot,
+            )
+        )
         object.__setattr__(self, "events", events)
 
     def __len__(self) -> int:
@@ -287,4 +359,61 @@ def build_fault_plan(
             events.append(
                 JobFailure(slot=slot, vm_index=int(rng.integers(0, 1 << 16)))
             )
+    return FaultPlan(events=tuple(events), retry=retry or RetryPolicy())
+
+
+def build_revocation_storm(
+    *,
+    seed: int = 0,
+    n_slots: int = 400,
+    intensity: float = 0.5,
+    wave_rate: float | None = None,
+    cohort_size: int | None = None,
+    crash_fraction: float = 0.5,
+    downtime_slots: int = 10,
+    revocation_fraction: float = 0.5,
+    revocation_duration_slots: int = 8,
+    retry: RetryPolicy | None = None,
+) -> FaultPlan:
+    """Sample a seeded storm plan: correlated :class:`RevocationWave` s.
+
+    Where :func:`build_fault_plan` sprinkles *independent* per-VM
+    faults, a storm concentrates them: each wave reclaims a whole VM
+    cohort in one slot — the spot-market regime where a price spike
+    takes out every instance of a bid class at once.  ``intensity``
+    scales both the per-slot wave probability (default
+    ``0.015 * intensity``) and the cohort size (default
+    ``round(10 * intensity)`` VM indices per wave); ``0`` yields the
+    empty plan, byte-identical to a fault-free run.  Sampling is fully
+    determined by ``seed``; cohort indices fold modulo the cluster's VM
+    count at injection time, so one storm is portable across profiles.
+    """
+    if intensity < 0.0:
+        raise ValueError("intensity must be >= 0")
+    if n_slots < 1:
+        raise ValueError("n_slots must be >= 1")
+    rate = wave_rate if wave_rate is not None else 0.015 * intensity
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"wave rate must be in [0, 1], got {rate}")
+    size = cohort_size if cohort_size is not None else int(round(10 * intensity))
+    if cohort_size is not None and cohort_size < 1:
+        raise ValueError("cohort_size must be >= 1")
+    rng = np.random.default_rng(seed)
+    events: list[FaultEvent] = []
+    for slot in range(n_slots):
+        # One Bernoulli draw per slot plus one cohort draw per wave
+        # keeps the schedule deterministic in the seed.
+        if rng.random() >= rate or size < 1:
+            continue
+        cohort = rng.choice(1 << 16, size=size, replace=False)
+        events.append(
+            RevocationWave(
+                slot=slot,
+                vm_indices=tuple(int(i) for i in cohort),
+                crash_fraction=crash_fraction,
+                downtime_slots=downtime_slots,
+                revocation_fraction=revocation_fraction,
+                revocation_duration_slots=revocation_duration_slots,
+            )
+        )
     return FaultPlan(events=tuple(events), retry=retry or RetryPolicy())

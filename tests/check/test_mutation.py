@@ -72,6 +72,42 @@ class TestBogusUnlock:
         assert "zero error samples" in details or "below" in details
 
 
+class TestBrokenPipelineBarrier:
+    def test_partial_drain_is_caught(self, monkeypatch):
+        """A pipeline barrier that stops draining early submits phase
+        ``N+1`` while phase-``N`` jobs are still pending/running.  The
+        pipeline rule re-derives phase membership at every phase
+        submission and must flag exactly that — nothing else in the
+        run is corrupted, so no other rule may fire."""
+        from repro.experiments.scenarios import pipeline_scenario
+        from repro.experiments.workloads import pipeline as pipeline_mod
+
+        def leaky_drain(kernel):
+            # Process a handful of events instead of draining to idle:
+            # earlier-phase jobs are left live in the simulator.
+            for _ in range(3):
+                kernel.advance()
+
+        monkeypatch.setattr(pipeline_mod, "_drain_phase", leaky_drain)
+        scenario = pipeline_scenario(18, n_phases=3)
+        report = api.check_run(scenario=scenario, methods=("DRA",))
+        assert not report.ok
+        rules = {v.rule for v in report.violations}
+        assert rules == {"pipeline"}
+        details = " ".join(v.detail for v in report.violations)
+        assert "phase" in details and "DAG" in details
+
+    def test_healthy_barrier_is_clean(self):
+        """The unmutated pipeline run passes the same rule set, and the
+        rule actually evaluated (one check per submitted phase)."""
+        from repro.experiments.scenarios import pipeline_scenario
+
+        scenario = pipeline_scenario(18, n_phases=3)
+        report = api.check_run(scenario=scenario, methods=("DRA",))
+        assert report.ok
+        assert report.checks.get("pipeline", 0) >= 3
+
+
 class TestCorruptedVectorSelector:
     def test_anti_most_matched_is_caught(self, monkeypatch):
         """A vectorized selector that picks the *largest*-volume feasible

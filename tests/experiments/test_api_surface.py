@@ -21,6 +21,8 @@ EXPECTED_ALL = (
     "replay",
     "inject",
     "build_fault_plan",
+    "build_revocation_storm",
+    "storm_sweep_scenarios",
     "open_service",
     "takeover_run",
     "PlacementUpdate",
@@ -34,6 +36,9 @@ EXPECTED_ALL = (
     "predictor_summaries",
     "FaultPlan",
     "RetryPolicy",
+    "RevocationWave",
+    "PipelineSpec",
+    "DiurnalPattern",
     "PredictorCache",
     "PredictorStore",
     "default_store_dir",
@@ -50,6 +55,9 @@ EXPECTED_KINDS = {
     "TakeoverReport": "type",
     "FaultPlan": "type",
     "RetryPolicy": "type",
+    "RevocationWave": "type",
+    "PipelineSpec": "type",
+    "DiurnalPattern": "type",
     "PredictorCache": "type",
     "PredictorStore": "type",
     "ScaleConfig": "type",
@@ -73,7 +81,9 @@ EXPECTED_SIGNATURES = {
     'attach_sink': "(sink: 'Sink | str') -> 'Sink'",
     'detach_sink': "() -> 'None'",
     'capture_events': "(sink: 'Sink | str') -> 'Iterator[Sink]'",
-    'build_scenario': "(*, jobs: 'int' = 200, testbed: 'str' = 'cluster', seed: 'int' = 7) -> 'Scenario'",
+    'build_scenario': "(*, jobs: 'int' = 200, testbed: 'str' = 'cluster', seed: 'int' = 7, family: 'str | None' = None) -> 'Scenario'",
+    'build_revocation_storm': "(*, seed: 'int' = 0, n_slots: 'int' = 400, intensity: 'float' = 0.5, wave_rate: 'float | None' = None, cohort_size: 'int | None' = None, crash_fraction: 'float' = 0.5, downtime_slots: 'int' = 10, revocation_fraction: 'float' = 0.5, revocation_duration_slots: 'int' = 8, retry: 'RetryPolicy | None' = None) -> 'FaultPlan'",
+    'storm_sweep_scenarios': "(base: 'Scenario', *, intensities: 'Sequence[float]' = (0.0, 0.25, 0.5, 1.0), seed: 'int' = 0, n_slots: 'int' = 400) -> 'list[Scenario]'",
     'available_predictors': "() -> 'tuple[str, ...]'",
     'predictor_summaries': "() -> 'dict[str, str]'",
     'default_store_dir': "() -> 'Path'",

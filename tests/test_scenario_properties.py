@@ -1,0 +1,155 @@
+"""Property tests for the v1.8 scenario zoo.
+
+Three invariants that must hold for *every* parameterisation, not just
+the golden one:
+
+* **pipeline** — the DAG edge: no phase-``p`` job is ever submitted
+  before every phase-``p-1`` job has completed (re-derived from the
+  per-job slots of a finished run, independently of the checker);
+* **diurnal** — the time warp is a pure, seeded function: deterministic
+  across applications, conserves the job multiset, preserves arrival
+  order and stays inside the original span;
+* **storm** — revocation waves never lose a job: every submitted job is
+  completed, retried or explicitly given up, enforced by the ``jobs``
+  conservation rule of :mod:`repro.check`.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import api
+from repro.experiments.scenarios import (
+    pipeline_scenario,
+    storm_scenario,
+)
+from repro.experiments.workloads.diurnal import DiurnalPattern, apply_diurnal
+from repro.experiments.workloads.pipeline import partition_phases
+
+# ----------------------------------------------------------------------
+# pipeline: phase ordering
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    n_jobs=st.integers(min_value=10, max_value=28),
+    n_phases=st.integers(min_value=1, max_value=4),
+    window=st.integers(min_value=0, max_value=3),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_pipeline_phase_ordering_never_violated(n_jobs, n_phases, window, seed):
+    scenario = pipeline_scenario(
+        n_jobs, seed=seed, n_phases=n_phases, conflict_window_slots=window
+    )
+    result = api.run_one(scenario=scenario, method="DRA")
+    phases = partition_phases(list(scenario.evaluation_trace()), n_phases)
+    phase_of = {r.task_id: p for p, phase in enumerate(phases) for r in phase}
+    by_phase: dict[int, list] = {}
+    for job in result.jobs:
+        by_phase.setdefault(phase_of[job.job_id], []).append(job)
+    assert sum(len(v) for v in by_phase.values()) == len(result.jobs)
+    for p in range(1, n_phases):
+        prev = by_phase.get(p - 1, [])
+        cur = by_phase.get(p, [])
+        if not prev or not cur:
+            continue
+        # Fault-free run: every earlier-phase job must have finished...
+        assert all(j.completion_slot is not None for j in prev)
+        # ...strictly before any later-phase job was even submitted.
+        max_done = max(j.completion_slot for j in prev)
+        min_submit = min(j.submit_slot for j in cur)
+        assert min_submit > max_done, (
+            f"phase {p} submitted at slot {min_submit} while phase {p - 1} "
+            f"still ran through slot {max_done}"
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n_records=st.integers(min_value=1, max_value=40),
+    n_phases=st.integers(min_value=1, max_value=6),
+)
+def test_partition_phases_is_an_ordered_partition(n_records, n_phases):
+    records = list(range(n_records))  # partitioning is type-agnostic
+    phases = partition_phases(records, n_phases)
+    assert len(phases) == n_phases
+    assert [r for phase in phases for r in phase] == records
+    sizes = [len(phase) for phase in phases]
+    assert max(sizes) - min(sizes) <= 1  # near-even split
+
+
+# ----------------------------------------------------------------------
+# diurnal: determinism and conservation
+# ----------------------------------------------------------------------
+
+patterns = st.builds(
+    DiurnalPattern,
+    period_s=st.floats(min_value=5.0, max_value=200.0),
+    day_night_ratio=st.floats(min_value=1.01, max_value=8.0),
+    n_spikes=st.integers(min_value=0, max_value=4),
+    spike_width_s=st.floats(min_value=0.5, max_value=10.0),
+    spike_boost=st.floats(min_value=0.0, max_value=10.0),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+
+
+@pytest.fixture(scope="module")
+def base_records():
+    return list(api.build_scenario(jobs=24).evaluation_trace())
+
+
+@settings(max_examples=25, deadline=None)
+@given(pattern=patterns)
+def test_diurnal_warp_is_deterministic(base_records, pattern):
+    once = apply_diurnal(base_records, pattern)
+    twice = apply_diurnal(base_records, pattern)
+    rebuilt = apply_diurnal(
+        base_records, DiurnalPattern(**pattern.__dict__)
+    )
+    assert [r.submit_time_s for r in once] == [r.submit_time_s for r in twice]
+    assert [r.submit_time_s for r in once] == [r.submit_time_s for r in rebuilt]
+
+
+@settings(max_examples=25, deadline=None)
+@given(pattern=patterns)
+def test_diurnal_warp_conserves_jobs_and_order(base_records, pattern):
+    warped = apply_diurnal(base_records, pattern)
+    # Conservation: same jobs, nothing dropped or invented.
+    assert len(warped) == len(base_records)
+    assert [r.task_id for r in warped] == [r.task_id for r in base_records]
+    span = max(r.submit_time_s for r in base_records)
+    by_original = sorted(
+        zip(base_records, warped), key=lambda pair: pair[0].submit_time_s
+    )
+    previous = 0.0
+    for original, new in by_original:
+        # Only the arrival time moves, and only within the span.
+        assert new.duration_s == original.duration_s
+        assert 0.0 <= new.submit_time_s <= span + 1e-9
+        # Monotone warp: arrival order is preserved.
+        assert new.submit_time_s >= previous - 1e-9
+        previous = new.submit_time_s
+
+
+# ----------------------------------------------------------------------
+# storm: job conservation under revocation waves
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=4, deadline=None)
+@given(
+    intensity=st.sampled_from((0.25, 0.5, 1.0)),
+    storm_seed=st.integers(min_value=0, max_value=20),
+)
+def test_storm_conserves_jobs(intensity, storm_seed):
+    scenario = storm_scenario(
+        20, seed=7, intensity=intensity, storm_seed=storm_seed
+    )
+    report = api.check_run(
+        scenario=scenario, methods=("DRA",), rules=("jobs",)
+    )
+    assert report.checks.get("jobs", 0) > 0
+    assert report.ok, [v.detail for v in report.violations]
